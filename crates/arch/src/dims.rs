@@ -1,0 +1,269 @@
+//! Tensor dimension and data-type vocabulary.
+//!
+//! The paper describes a seven-dimensional convolution (Fig. 1): batch `N`,
+//! output channels `M`, input channels `C`, output height/width `P`/`Q`,
+//! kernel height/width `R`/`S`, and the derived input height/width `H`/`W`.
+//! GEMM workloads use `M`, `K`, `N` which we map onto the same vocabulary
+//! (`GemmM` ↔ `M`, `GemmK` ↔ `C`, `GemmN` ↔ `Q`) so the mapping and layout
+//! machinery is shared.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ArchError;
+
+/// A tensor dimension of a convolution or GEMM workload.
+///
+/// # Example
+/// ```
+/// use feather_arch::dims::Dim;
+/// assert_eq!("C".parse::<Dim>().unwrap(), Dim::C);
+/// assert_eq!(Dim::W.to_string(), "W");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Dim {
+    /// Batch.
+    N,
+    /// Output channels (kernels).
+    M,
+    /// Input channels (also the GEMM contraction dimension `K`).
+    C,
+    /// Output activation height.
+    P,
+    /// Output activation width (also the GEMM `N` dimension).
+    Q,
+    /// Kernel height.
+    R,
+    /// Kernel width.
+    S,
+    /// Input activation height (derived: `H = (P-1)*stride + R - 2*pad`).
+    H,
+    /// Input activation width.
+    W,
+}
+
+impl Dim {
+    /// All dimensions in canonical order.
+    pub const ALL: [Dim; 9] = [
+        Dim::N,
+        Dim::M,
+        Dim::C,
+        Dim::P,
+        Dim::Q,
+        Dim::R,
+        Dim::S,
+        Dim::H,
+        Dim::W,
+    ];
+
+    /// Dimensions that index the *input activation* tensor of a convolution.
+    pub const IACT_DIMS: [Dim; 4] = [Dim::N, Dim::C, Dim::H, Dim::W];
+
+    /// Dimensions that index the *weight* tensor of a convolution.
+    pub const WEIGHT_DIMS: [Dim; 4] = [Dim::M, Dim::C, Dim::R, Dim::S];
+
+    /// Dimensions that index the *output activation* tensor of a convolution.
+    pub const OACT_DIMS: [Dim; 4] = [Dim::N, Dim::M, Dim::P, Dim::Q];
+
+    /// Returns `true` if this dimension carries a reduction dependency
+    /// (summed away when producing outputs): `C`, `R` and `S`.
+    pub fn is_reduction(self) -> bool {
+        matches!(self, Dim::C | Dim::R | Dim::S)
+    }
+
+    /// The single-character name used in layout strings (`"C"`, `"H"`, ...).
+    pub fn letter(self) -> char {
+        match self {
+            Dim::N => 'N',
+            Dim::M => 'M',
+            Dim::C => 'C',
+            Dim::P => 'P',
+            Dim::Q => 'Q',
+            Dim::R => 'R',
+            Dim::S => 'S',
+            Dim::H => 'H',
+            Dim::W => 'W',
+        }
+    }
+
+    /// Parses a single layout-string character into a dimension.
+    ///
+    /// `K` is accepted as an alias for [`Dim::C`]: the paper writes GEMM
+    /// layouts like `MK_K32`, and GEMM's contraction dimension maps onto the
+    /// convolution channel dimension in our vocabulary.
+    pub fn from_letter(c: char) -> Result<Self, ArchError> {
+        match c.to_ascii_uppercase() {
+            'N' => Ok(Dim::N),
+            'M' => Ok(Dim::M),
+            'C' | 'K' => Ok(Dim::C),
+            'P' => Ok(Dim::P),
+            'Q' => Ok(Dim::Q),
+            'R' => Ok(Dim::R),
+            'S' => Ok(Dim::S),
+            'H' => Ok(Dim::H),
+            'W' => Ok(Dim::W),
+            other => Err(ArchError::ParseDim(other.to_string())),
+        }
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+impl FromStr for Dim {
+    type Err = ArchError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Dim::from_letter(c),
+            _ => Err(ArchError::ParseDim(s.to_string())),
+        }
+    }
+}
+
+/// Numeric precision of a tensor operand.
+///
+/// FEATHER computes in INT8 with INT32 accumulation (§III-C); the baselines in
+/// Tab. IV use INT8 or INT16 or BF16, which only matters for the area/energy
+/// models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 8-bit signed integer (FEATHER operand precision).
+    Int8,
+    /// 16-bit signed integer (original Eyeriss precision).
+    Int16,
+    /// 32-bit signed integer (accumulator precision).
+    Int32,
+    /// bfloat16 (original SIGMA precision).
+    Bf16,
+}
+
+impl DataType {
+    /// Width of one element in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            DataType::Int8 => 8,
+            DataType::Int16 => 16,
+            DataType::Int32 => 32,
+            DataType::Bf16 => 16,
+        }
+    }
+
+    /// Width of one element in bytes (rounded up).
+    pub fn bytes(self) -> u32 {
+        self.bits().div_ceil(8)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DataType::Int8 => "int8",
+            DataType::Int16 => "int16",
+            DataType::Int32 => "int32",
+            DataType::Bf16 => "bf16",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Identifies one of the three convolution operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// Input activations (streamed online; the reorder target in the paper).
+    IActs,
+    /// Weights (known offline, laid out offline).
+    Weights,
+    /// Output activations (produced by reduction, written back with a new layout).
+    OActs,
+}
+
+impl Operand {
+    /// The dimensions that index this operand's tensor.
+    pub fn dims(self) -> &'static [Dim] {
+        match self {
+            Operand::IActs => &Dim::IACT_DIMS,
+            Operand::Weights => &Dim::WEIGHT_DIMS,
+            Operand::OActs => &Dim::OACT_DIMS,
+        }
+    }
+
+    /// Returns `true` if `dim` indexes this operand.
+    pub fn uses(self, dim: Dim) -> bool {
+        self.dims().contains(&dim)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Operand::IActs => "iacts",
+            Operand::Weights => "weights",
+            Operand::OActs => "oacts",
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_letters_roundtrip() {
+        for dim in Dim::ALL {
+            assert_eq!(Dim::from_letter(dim.letter()).unwrap(), dim);
+            assert_eq!(dim.to_string().parse::<Dim>().unwrap(), dim);
+        }
+    }
+
+    #[test]
+    fn lowercase_letters_accepted() {
+        assert_eq!(Dim::from_letter('c').unwrap(), Dim::C);
+        assert_eq!(Dim::from_letter('w').unwrap(), Dim::W);
+    }
+
+    #[test]
+    fn invalid_dim_rejected() {
+        assert!(Dim::from_letter('Z').is_err());
+        assert!("CH".parse::<Dim>().is_err());
+        assert!("".parse::<Dim>().is_err());
+    }
+
+    #[test]
+    fn reduction_dims() {
+        assert!(Dim::C.is_reduction());
+        assert!(Dim::R.is_reduction());
+        assert!(Dim::S.is_reduction());
+        assert!(!Dim::M.is_reduction());
+        assert!(!Dim::P.is_reduction());
+        assert!(!Dim::Q.is_reduction());
+        assert!(!Dim::N.is_reduction());
+    }
+
+    #[test]
+    fn datatype_widths() {
+        assert_eq!(DataType::Int8.bits(), 8);
+        assert_eq!(DataType::Int8.bytes(), 1);
+        assert_eq!(DataType::Bf16.bytes(), 2);
+        assert_eq!(DataType::Int32.bytes(), 4);
+    }
+
+    #[test]
+    fn operand_dim_membership() {
+        assert!(Operand::IActs.uses(Dim::C));
+        assert!(Operand::IActs.uses(Dim::H));
+        assert!(!Operand::IActs.uses(Dim::M));
+        assert!(Operand::Weights.uses(Dim::M));
+        assert!(Operand::Weights.uses(Dim::R));
+        assert!(!Operand::Weights.uses(Dim::P));
+        assert!(Operand::OActs.uses(Dim::P));
+        assert!(!Operand::OActs.uses(Dim::C));
+    }
+}

@@ -1,0 +1,178 @@
+//! Per-action energy constants used by the analytic cost models.
+//!
+//! The absolute values are calibrated to commonly-published TSMC 28 nm numbers
+//! (the same technology node the paper uses) and to the relative costs that
+//! Timeloop/Accelergy ship: a register access is much cheaper than an SRAM
+//! access, which is two orders of magnitude cheaper than DRAM. The evaluation
+//! compares *normalized* pJ/MAC across designs (Fig. 13), so the ratios, not
+//! the absolute values, drive the reproduced results.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dims::DataType;
+
+/// Energy (in picojoules) for the primitive actions of an accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// One INT8 multiply-accumulate (including local control).
+    pub mac_int8_pj: f64,
+    /// One register-file access (read or write) per byte.
+    pub register_pj_per_byte: f64,
+    /// One on-chip SRAM access per byte (global buffer scale, ~100 KiB).
+    pub sram_pj_per_byte: f64,
+    /// One off-chip DRAM/HBM access per byte.
+    pub dram_pj_per_byte: f64,
+    /// Energy per byte for traversing the distribution NoC (per hop-equivalent).
+    pub noc_pj_per_byte: f64,
+    /// Energy for one 2×2 switch (Egg) operation in a reduction network,
+    /// including its INT32 adder when reducing.
+    pub reduction_switch_pj: f64,
+    /// Static/leakage energy per PE per cycle.
+    pub leakage_pj_per_pe_cycle: f64,
+}
+
+impl EnergyModel {
+    /// TSMC 28 nm–calibrated defaults.
+    pub fn tsmc28() -> Self {
+        EnergyModel {
+            mac_int8_pj: 0.56,
+            register_pj_per_byte: 0.06,
+            sram_pj_per_byte: 3.6,
+            dram_pj_per_byte: 128.0,
+            noc_pj_per_byte: 0.35,
+            reduction_switch_pj: 0.12,
+            leakage_pj_per_pe_cycle: 0.01,
+        }
+    }
+
+    /// Energy of one MAC at the given operand precision (scaled quadratically
+    /// with multiplier width relative to INT8, the usual first-order model).
+    pub fn mac_pj(&self, dtype: DataType) -> f64 {
+        let scale = (dtype.bits() as f64 / 8.0).powi(2);
+        self.mac_int8_pj * scale
+    }
+
+    /// Energy of moving `bytes` bytes through SRAM.
+    pub fn sram_pj(&self, bytes: u64) -> f64 {
+        self.sram_pj_per_byte * bytes as f64
+    }
+
+    /// Energy of moving `bytes` bytes to/from DRAM.
+    pub fn dram_pj(&self, bytes: u64) -> f64 {
+        self.dram_pj_per_byte * bytes as f64
+    }
+
+    /// Energy of moving `bytes` bytes across the distribution NoC.
+    pub fn noc_pj(&self, bytes: u64) -> f64 {
+        self.noc_pj_per_byte * bytes as f64
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::tsmc28()
+    }
+}
+
+/// Accumulated energy of one layer execution, broken down by source.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Compute (MAC) energy in pJ.
+    pub compute_pj: f64,
+    /// Local register-file energy in pJ.
+    pub register_pj: f64,
+    /// On-chip SRAM energy in pJ.
+    pub sram_pj: f64,
+    /// Off-chip DRAM energy in pJ.
+    pub dram_pj: f64,
+    /// Interconnect (distribution + reduction network) energy in pJ.
+    pub noc_pj: f64,
+    /// Leakage energy in pJ.
+    pub leakage_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj
+            + self.register_pj
+            + self.sram_pj
+            + self.dram_pj
+            + self.noc_pj
+            + self.leakage_pj
+    }
+
+    /// Energy per MAC in pJ.
+    pub fn pj_per_mac(&self, macs: u64) -> f64 {
+        if macs == 0 {
+            0.0
+        } else {
+            self.total_pj() / macs as f64
+        }
+    }
+
+    /// Component-wise sum of two breakdowns.
+    pub fn add(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            compute_pj: self.compute_pj + other.compute_pj,
+            register_pj: self.register_pj + other.register_pj,
+            sram_pj: self.sram_pj + other.sram_pj,
+            dram_pj: self.dram_pj + other.dram_pj,
+            noc_pj: self.noc_pj + other.noc_pj,
+            leakage_pj: self.leakage_pj + other.leakage_pj,
+        }
+    }
+}
+
+impl std::ops::Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+
+    fn add(self, rhs: Self) -> Self::Output {
+        EnergyBreakdown::add(&self, &rhs)
+    }
+}
+
+impl std::iter::Sum for EnergyBreakdown {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(EnergyBreakdown::default(), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_costs_are_sane() {
+        let e = EnergyModel::tsmc28();
+        assert!(e.register_pj_per_byte < e.sram_pj_per_byte);
+        assert!(e.sram_pj_per_byte < e.dram_pj_per_byte);
+        assert!(e.dram_pj_per_byte / e.sram_pj_per_byte > 10.0);
+        assert!(e.mac_int8_pj > 0.0);
+    }
+
+    #[test]
+    fn mac_energy_scales_with_precision() {
+        let e = EnergyModel::tsmc28();
+        assert!(e.mac_pj(DataType::Int16) > e.mac_pj(DataType::Int8));
+        assert!((e.mac_pj(DataType::Int16) / e.mac_pj(DataType::Int8) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_total_and_sum() {
+        let a = EnergyBreakdown {
+            compute_pj: 1.0,
+            sram_pj: 2.0,
+            ..Default::default()
+        };
+        let b = EnergyBreakdown {
+            dram_pj: 3.0,
+            noc_pj: 0.5,
+            ..Default::default()
+        };
+        let s: EnergyBreakdown = [a, b].into_iter().sum();
+        assert!((s.total_pj() - 6.5).abs() < 1e-12);
+        assert!((s.pj_per_mac(13) - 0.5).abs() < 1e-12);
+        assert_eq!(EnergyBreakdown::default().pj_per_mac(0), 0.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type shared by the foundation crate.
+
+use std::fmt;
+
+/// Errors produced while constructing or parsing architecture descriptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// A dimension letter/string could not be parsed.
+    ParseDim(String),
+    /// A layout string (e.g. `"CHW_W4H2C2"`) could not be parsed.
+    ParseLayout {
+        /// The offending input.
+        input: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A workload parameter was zero or otherwise out of range.
+    InvalidWorkload(String),
+    /// A dataflow/mapping was inconsistent with the workload or hardware.
+    InvalidDataflow(String),
+    /// A tensor shape mismatch in the reference kernels.
+    ShapeMismatch(String),
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::ParseDim(s) => write!(f, "unrecognized tensor dimension `{s}`"),
+            ArchError::ParseLayout { input, reason } => {
+                write!(f, "invalid layout string `{input}`: {reason}")
+            }
+            ArchError::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
+            ArchError::InvalidDataflow(msg) => write!(f, "invalid dataflow: {msg}"),
+            ArchError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errors = [
+            ArchError::ParseDim("Z".into()),
+            ArchError::ParseLayout {
+                input: "???".into(),
+                reason: "no underscore".into(),
+            },
+            ArchError::InvalidWorkload("zero channels".into()),
+            ArchError::InvalidDataflow("spatial factor exceeds array".into()),
+            ArchError::ShapeMismatch("input len".into()),
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArchError>();
+    }
+}

@@ -1,0 +1,192 @@
+//! Per-component resource breakdown of 256-PE designs (Fig. 14b).
+
+use serde::{Deserialize, Serialize};
+
+use crate::networks::{ReductionNetworkKind, ReductionNetworkModel};
+
+/// A die-area component in the Fig. 14b breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Component {
+    /// Multiply-accumulate datapaths.
+    Mac,
+    /// Per-PE local memories (weight/psum registers, scratchpads).
+    LocalMemory,
+    /// Control logic.
+    Controller,
+    /// Distribution NoC (buffer → PEs).
+    DistributionNoc,
+    /// Reduction NoC (PEs → buffer).
+    ReductionNoc,
+    /// Computation NoC (inter-PE forwarding links).
+    ComputationNoc,
+}
+
+impl Component {
+    /// All components in plot order.
+    pub const ALL: [Component; 6] = [
+        Component::Mac,
+        Component::LocalMemory,
+        Component::Controller,
+        Component::DistributionNoc,
+        Component::ReductionNoc,
+        Component::ComputationNoc,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::Mac => "MAC",
+            Component::LocalMemory => "local mem.",
+            Component::Controller => "Controller",
+            Component::DistributionNoc => "Dist. NoC",
+            Component::ReductionNoc => "Redn. NoC",
+            Component::ComputationNoc => "Comp. NoC",
+        }
+    }
+}
+
+/// The three 256-PE designs compared in Fig. 14b.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Design256 {
+    /// Fixed-dataflow Eyeriss-like 16×16 array.
+    EyerissLike,
+    /// SIGMA with 256 1-D PEs, Benes distribution and FAN reduction.
+    Sigma,
+    /// FEATHER 16×16 with point-to-point distribution and one 16-input BIRRD.
+    Feather,
+}
+
+impl Design256 {
+    /// All designs in plot order.
+    pub const ALL: [Design256; 3] = [Design256::EyerissLike, Design256::Sigma, Design256::Feather];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Design256::EyerissLike => "Eyeriss-like-256",
+            Design256::Sigma => "SIGMA-256",
+            Design256::Feather => "FEATHER-256",
+        }
+    }
+}
+
+/// Component-wise area of one design, in µm².
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// The design.
+    pub design: Design256,
+    /// Per-component areas in µm², in [`Component::ALL`] order.
+    pub areas_um2: Vec<(Component, f64)>,
+}
+
+impl Breakdown {
+    /// Total area in µm².
+    pub fn total_um2(&self) -> f64 {
+        self.areas_um2.iter().map(|(_, a)| a).sum()
+    }
+
+    /// Area of a single component.
+    pub fn area_of(&self, component: Component) -> f64 {
+        self.areas_um2
+            .iter()
+            .find(|(c, _)| *c == component)
+            .map(|(_, a)| *a)
+            .unwrap_or(0.0)
+    }
+}
+
+// Component counts × per-component costs (µm², TSMC 28 nm). MAC datapaths are
+// identical across designs (256 INT8 MACs); the differences come from the
+// NoCs, the per-PE storage and the controller — which is exactly the paper's
+// argument for why FEATHER lands at ~1.06× an Eyeriss-like design while SIGMA
+// needs ~2.4× more.
+const MAC_AREA_UM2: f64 = 550.0; // per INT8 MAC + pipeline registers
+const EYERISS_SPAD_UM2: f64 = 900.0; // per-PE iAct/psum/weight scratchpads
+const FEATHER_LOCAL_UM2: f64 = 1_130.0; // ping/pong weight regs + deeper psum regs
+                                        // (each PE buffers AH local reductions)
+const SIGMA_LOCAL_UM2: f64 = 700.0; // SIGMA's per-PE buffering
+
+/// Analytic Fig. 14b breakdown for one design (256 PEs each).
+pub fn design_breakdown(design: Design256) -> Breakdown {
+    let pes = 256.0;
+    let fan_256 = ReductionNetworkModel::new(ReductionNetworkKind::Fan, 256);
+    let birrd_16 = ReductionNetworkModel::new(ReductionNetworkKind::Birrd, 16);
+    let areas = match design {
+        Design256::EyerissLike => vec![
+            (Component::Mac, pes * MAC_AREA_UM2),
+            (Component::LocalMemory, pes * EYERISS_SPAD_UM2),
+            (Component::Controller, 28_000.0),
+            (Component::DistributionNoc, 35_000.0), // X/Y buses
+            (Component::ReductionNoc, 18_000.0),    // vertical psum links
+            (Component::ComputationNoc, 22_000.0),  // neighbour forwarding
+        ],
+        Design256::Sigma => vec![
+            (Component::Mac, pes * MAC_AREA_UM2),
+            (Component::LocalMemory, pes * SIGMA_LOCAL_UM2),
+            (Component::Controller, 60_000.0), // per-PE flexible control
+            (Component::DistributionNoc, 290_000.0), // Benes/crossbar
+            (Component::ReductionNoc, fan_256.area_um2), // full-width FAN
+            (Component::ComputationNoc, 15_000.0),
+        ],
+        Design256::Feather => vec![
+            (Component::Mac, pes * MAC_AREA_UM2),
+            (Component::LocalMemory, pes * FEATHER_LOCAL_UM2),
+            (Component::Controller, 36_000.0), // +BIRRD config sequencing
+            (Component::DistributionNoc, 6_000.0), // point-to-point wires
+            (Component::ReductionNoc, birrd_16.area_um2), // single shared BIRRD
+            (Component::ComputationNoc, 12_000.0), // column output buses
+        ],
+    };
+    Breakdown {
+        design,
+        areas_um2: areas,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feather_is_about_six_percent_over_eyeriss() {
+        let f = design_breakdown(Design256::Feather).total_um2();
+        let e = design_breakdown(Design256::EyerissLike).total_um2();
+        let ratio = f / e;
+        assert!((1.02..1.12).contains(&ratio), "FEATHER/Eyeriss = {ratio:.3}");
+    }
+
+    #[test]
+    fn sigma_is_well_over_twice_feather() {
+        let f = design_breakdown(Design256::Feather).total_um2();
+        let s = design_breakdown(Design256::Sigma).total_um2();
+        let ratio = s / f;
+        assert!((2.0..3.2).contains(&ratio), "SIGMA/FEATHER = {ratio:.3}");
+    }
+
+    #[test]
+    fn feather_reduction_noc_is_tiny_compared_to_sigma() {
+        // §VI-D.1: a single shared BIRRD instance saves ~94 % of the reduction
+        // NoC area compared to SIGMA's full-width FAN.
+        let f = design_breakdown(Design256::Feather).area_of(Component::ReductionNoc);
+        let s = design_breakdown(Design256::Sigma).area_of(Component::ReductionNoc);
+        assert!(f / s < 0.10, "BIRRD/FAN area ratio {}", f / s);
+    }
+
+    #[test]
+    fn every_component_present_and_positive() {
+        for design in Design256::ALL {
+            let b = design_breakdown(design);
+            assert_eq!(b.areas_um2.len(), Component::ALL.len());
+            for (c, a) in &b.areas_um2 {
+                assert!(*a > 0.0, "{design:?} {c:?} must have positive area");
+            }
+        }
+    }
+
+    #[test]
+    fn birrd_fraction_of_feather_die_is_small() {
+        let b = design_breakdown(Design256::Feather);
+        let frac = b.area_of(Component::ReductionNoc) / b.total_um2();
+        assert!(frac > 0.02 && frac < 0.08, "BIRRD fraction {frac}");
+    }
+}

@@ -1,0 +1,31 @@
+//! # feather-areamodel
+//!
+//! Analytic area/power model for FEATHER and the designs it is compared
+//! against, calibrated to the paper's published TSMC 28 nm numbers:
+//!
+//! * [`networks`] — the reduction-network comparison of Fig. 14a (ART from
+//!   MAERI, FAN from SIGMA, BIRRD from FEATHER) as a function of the number of
+//!   reduction inputs;
+//! * [`scaling`] — FEATHER's post-place-and-route area/power at different
+//!   array shapes (Table V);
+//! * [`breakdown`] — the per-component resource breakdown of 256-PE
+//!   Eyeriss-like, SIGMA and FEATHER instances (Fig. 14b).
+//!
+//! The paper's substitution note applies here: we do not run synthesis or
+//! place-and-route; instead the model counts hardware components (adders,
+//! switches, registers, SRAM bits) and multiplies by per-component costs
+//! anchored to the paper's published absolute numbers, so the *relative*
+//! claims (BIRRD is a few percent of the die, FEATHER ≈ 1.06× an Eyeriss-like
+//! fixed-dataflow design, ≈ 2.4–2.9× smaller than SIGMA) are reproduced by
+//! construction of the same component counts.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod breakdown;
+pub mod networks;
+pub mod scaling;
+
+pub use breakdown::{design_breakdown, Breakdown, Component, Design256};
+pub use networks::{ReductionNetworkKind, ReductionNetworkModel};
+pub use scaling::{feather_area_power, AreaPower};

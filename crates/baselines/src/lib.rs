@@ -1,0 +1,22 @@
+//! # feather-baselines
+//!
+//! Models of the accelerators FEATHER is compared against:
+//!
+//! * [`systolic`] — a weight-stationary rigid systolic array (utilization on
+//!   regular and irregular GEMMs, the comparison behind Fig. 4 and Fig. 10);
+//! * [`devices`] — the real-device suite of Fig. 12 (Gemmini-like, Xilinx-
+//!   DPU-like, Edge-TPU-like and FEATHER itself), evaluated per ResNet-50
+//!   layer and normalized to throughput per PE per cycle;
+//! * [`suite`] — the Layoutloop configuration matrix of Fig. 13 (NVDLA-like,
+//!   Eyeriss-like, SIGMA-like variants, Medusa/MTIA/TPU-like and FEATHER).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod devices;
+pub mod suite;
+pub mod systolic;
+
+pub use devices::{device_suite, normalized_throughput_per_pe, DeviceResult};
+pub use suite::{fig13_suite, SuiteEntry};
+pub use systolic::SystolicArray;

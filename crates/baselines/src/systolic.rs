@@ -1,0 +1,141 @@
+//! A rigid weight-stationary systolic array (the Fig. 10 comparison point).
+//!
+//! The array maps GEMM `O[M][N] = Σ_K A·B` with `K` along its rows (temporal
+//! accumulation down each column is *not* available — partial sums travel
+//! through the column, so one column produces one output at a time) and `M`
+//! along its columns. Unlike FEATHER it cannot form cross-column reduction
+//! groups or run different mappings per column, so skewed shapes leave most of
+//! the array idle — exactly the effect Fig. 10 illustrates.
+
+use feather_arch::workload::GemmLayer;
+use serde::{Deserialize, Serialize};
+
+/// A weight-stationary `rows × cols` systolic array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystolicArray {
+    /// PE rows (the contraction dimension `K` maps here).
+    pub rows: usize,
+    /// PE columns (the output dimension `M` maps here).
+    pub cols: usize,
+}
+
+/// Utilization/latency estimate for one GEMM on the systolic array.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystolicRun {
+    /// Total cycles, including pipeline fill/drain and weight reloads.
+    pub cycles: u64,
+    /// Steady-state utilization of the PE array.
+    pub utilization: f64,
+    /// Number of weight-stationary tiles executed.
+    pub tiles: u64,
+}
+
+impl SystolicArray {
+    /// Creates an array.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        SystolicArray { rows, cols }
+    }
+
+    /// Number of PEs.
+    pub fn num_pes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Executes a GEMM analytically: `K` tiles across rows, `M` tiles across
+    /// columns, `N` streamed temporally.
+    pub fn run_gemm(&self, gemm: &GemmLayer) -> SystolicRun {
+        let k_tiles = gemm.k.div_ceil(self.rows) as u64;
+        let m_tiles = gemm.m.div_ceil(self.cols) as u64;
+        let tiles = k_tiles * m_tiles;
+        // Per tile: load weights (rows cycles, pipelined), stream N inputs,
+        // drain rows + cols.
+        let per_tile = self.rows as u64 + gemm.n as u64 + self.cols as u64;
+        let cycles = tiles * per_tile;
+        // Mapped PEs per tile: the K×M sub-block actually occupied (averaged
+        // over tiles, accounting for the ragged last tile).
+        let used_pe_cycles: u64 = (0..k_tiles)
+            .flat_map(|kt| (0..m_tiles).map(move |mt| (kt, mt)))
+            .map(|(kt, mt)| {
+                let k_used = (gemm.k - (kt as usize * self.rows)).min(self.rows) as u64;
+                let m_used = (gemm.m - (mt as usize * self.cols)).min(self.cols) as u64;
+                k_used * m_used * gemm.n as u64
+            })
+            .sum();
+        let utilization =
+            used_pe_cycles as f64 / (cycles.max(1) * self.num_pes() as u64) as f64;
+        SystolicRun {
+            cycles,
+            utilization: utilization.min(1.0),
+            tiles,
+        }
+    }
+
+    /// Steady-state utilization ignoring fill/drain (the paper's Fig. 10
+    /// percentages): occupied PEs over total PEs for the dominant tile.
+    pub fn steady_utilization(&self, gemm: &GemmLayer) -> f64 {
+        let k_used = gemm.k.min(self.rows);
+        let m_used = gemm.m.min(self.cols);
+        // Dimensions larger than the array fold perfectly; smaller ones strand PEs.
+        let k_frac = if gemm.k >= self.rows {
+            1.0
+        } else {
+            k_used as f64 / self.rows as f64
+        };
+        let m_frac = if gemm.m >= self.cols {
+            1.0
+        } else {
+            m_used as f64 / self.cols as f64
+        };
+        k_frac * m_frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_gemm_fills_the_array() {
+        let sa = SystolicArray::new(4, 4);
+        let g = GemmLayer::new(8, 8, 16);
+        assert!((sa.steady_utilization(&g) - 1.0).abs() < 1e-9);
+        let run = sa.run_gemm(&g);
+        assert!(run.utilization > 0.5, "utilization {}", run.utilization);
+        assert_eq!(run.tiles, 4);
+    }
+
+    #[test]
+    fn skewed_k_strands_rows() {
+        // Fig. 10 workload B-style: K much smaller than the array rows.
+        let sa = SystolicArray::new(4, 4);
+        let g = GemmLayer::new(6, 2, 8);
+        assert!(sa.steady_utilization(&g) <= 0.5);
+    }
+
+    #[test]
+    fn tall_k_single_column_case() {
+        // Fig. 10 workload D: M=... with K = 16 on a 4×4 array the K dimension
+        // folds over 4 tiles; utilization per tile is limited by M.
+        let sa = SystolicArray::new(4, 4);
+        let g = GemmLayer::new(1, 16, 4);
+        assert!(sa.steady_utilization(&g) <= 0.25);
+    }
+
+    #[test]
+    fn run_cycles_scale_with_tiles() {
+        let sa = SystolicArray::new(4, 4);
+        let small = sa.run_gemm(&GemmLayer::new(4, 4, 8));
+        let big = sa.run_gemm(&GemmLayer::new(16, 16, 8));
+        assert!(big.cycles > small.cycles);
+        assert!(big.tiles > small.tiles);
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let sa = SystolicArray::new(8, 8);
+        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (64, 64, 64), (100, 2, 9)] {
+            let run = sa.run_gemm(&GemmLayer::new(m, k, n));
+            assert!(run.utilization > 0.0 && run.utilization <= 1.0);
+        }
+    }
+}

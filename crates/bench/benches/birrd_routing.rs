@@ -1,0 +1,36 @@
+//! Criterion bench: BIRRD routing and evaluation throughput for the request
+//! shapes FEATHER issues per row fire.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use feather_birrd::{Birrd, ReductionRequest};
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("birrd_route");
+    group.sample_size(20);
+    for width in [8usize, 16, 32] {
+        let birrd = Birrd::new(width).unwrap();
+        // Full-width reduction into bank 0 plus a scatter of 4-wide groups.
+        let groups: Vec<(Vec<usize>, usize)> = (0..width / 4)
+            .map(|g| ((g * 4..(g + 1) * 4).collect(), (width - 1) - g * 4))
+            .collect();
+        let request = ReductionRequest::from_groups(width, &groups).unwrap();
+        group.bench_with_input(BenchmarkId::new("grouped_reduction", width), &width, |b, _| {
+            b.iter(|| birrd.route(std::hint::black_box(&request)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let birrd = Birrd::new(16).unwrap();
+    let groups: Vec<(Vec<usize>, usize)> = (0..4).map(|g| ((g * 4..(g + 1) * 4).collect(), g)).collect();
+    let request = ReductionRequest::from_groups(16, &groups).unwrap();
+    let config = birrd.route(&request).unwrap();
+    let inputs: Vec<Option<i64>> = (0..16).map(|i| Some(i as i64)).collect();
+    c.bench_function("birrd_evaluate_16", |b| {
+        b.iter(|| birrd.evaluate(std::hint::black_box(&config), std::hint::black_box(&inputs)))
+    });
+}
+
+criterion_group!(benches, bench_routing, bench_evaluate);
+criterion_main!(benches);

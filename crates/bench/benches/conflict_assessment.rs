@@ -1,0 +1,35 @@
+//! Criterion bench: bank-conflict assessment and layout line-mapping
+//! throughput (the inner loop of Layoutloop's layout-aware search).
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use feather_arch::layout::Layout;
+use feather_arch::Dim;
+use feather_memsim::{Banking, BufferSpec, ConflictModel};
+
+fn bench_lines_touched(c: &mut Criterion) {
+    let layout: Layout = "HWC_C4W8".parse().unwrap();
+    let dims: BTreeMap<Dim, usize> = [(Dim::C, 256), (Dim::H, 14), (Dim::W, 14)]
+        .into_iter()
+        .collect();
+    let coords: Vec<BTreeMap<Dim, usize>> = (0..32)
+        .map(|i| {
+            [(Dim::C, i % 256), (Dim::H, (i / 4) % 14), (Dim::W, i % 14)]
+                .into_iter()
+                .collect()
+        })
+        .collect();
+    let model = ConflictModel::new(
+        BufferSpec::new(4096, 32, 1, Banking::VerticalBlocked).with_ports(2, 2),
+    );
+    c.bench_function("conflict_assessment_32_lanes", |b| {
+        b.iter(|| {
+            let lines = layout.lines_touched(coords.iter(), &dims);
+            model.assess_reads(lines)
+        })
+    });
+}
+
+criterion_group!(benches, bench_lines_touched);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench: Layoutloop evaluation and (dataflow, layout) co-search
+//! throughput on a representative ResNet-50 layer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use feather_arch::dataflow::Dataflow;
+use feather_arch::workload::{ConvLayer, Workload};
+use layoutloop::arch::ArchSpec;
+use layoutloop::cosearch::co_search_with;
+use layoutloop::evaluate::evaluate;
+use layoutloop::mapper::MapperConfig;
+
+fn layer() -> Workload {
+    ConvLayer::new(1, 128, 256, 14, 14, 3, 3)
+        .with_padding(1)
+        .with_name("resnet50_mid")
+        .into()
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let arch = ArchSpec::feather_like(16, 16);
+    let w = layer();
+    let df = Dataflow::weight_stationary(arch.shape, &w);
+    let layout = "HWC_C32".parse().unwrap();
+    c.bench_function("layoutloop_evaluate_one_pair", |b| {
+        b.iter(|| evaluate(&arch, &w, &df, &layout, None, 0).unwrap())
+    });
+}
+
+fn bench_cosearch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cosearch");
+    group.sample_size(10);
+    let w = layer();
+    for arch in [ArchSpec::feather_like(16, 16), ArchSpec::nvdla_like(16, 16)] {
+        group.bench_function(arch.name.clone(), |b| {
+            b.iter(|| co_search_with(&arch, &w, None, &MapperConfig::fast(), 0).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluate, bench_cosearch);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Fig. 13: normalized latency and energy (pJ/MAC) of every design on BERT,
+//! ResNet-50 and MobileNet-V3 via Layoutloop, with utilization, bank-conflict
+//! stall and off-chip-reorder cost breakdowns. Results are normalized to
+//! FEATHER (= 1.0), lower is better. Set `FEATHER_FULL=1` for all layers.
+
+use feather_arch::models::{bert_base, mobilenet_v3, resnet50};
+use feather_baselines::suite::{fig13_bert_suite, fig13_suite};
+use feather_bench::{layer_subset, print_table, run_design, totals};
+use layoutloop::mapper::MapperConfig;
+
+fn main() {
+    let mapper = MapperConfig::fast();
+    let ablate_rir = std::env::args().any(|a| a == "--ablate-rir");
+
+    for (net, stride, suite) in [
+        (bert_base(), 30, fig13_bert_suite(16, 16)),
+        (resnet50(), 4, fig13_suite(16, 16)),
+        (mobilenet_v3(), 4, fig13_suite(16, 16)),
+    ] {
+        let layers = layer_subset(&net, stride);
+        let mut rows = Vec::new();
+        let mut all = Vec::new();
+        for entry in &suite {
+            let mut arch = entry.arch.clone();
+            if ablate_rir && entry.label == "FEATHER" {
+                // Ablation: FEATHER forced to reorder after reduction instead
+                // of inside it (exposes the hidden latency RIR removes).
+                arch.reorder = layoutloop::arch::ReorderCapability::Transpose;
+                arch.name = "FEATHER (RAR ablation)".to_string();
+            }
+            let results = run_design(&arch, &layers, &mapper, 0);
+            let t = totals(&layers, &results);
+            all.push((entry, t));
+        }
+        let feather = all
+            .iter()
+            .find(|(e, _)| e.label == "FEATHER")
+            .map(|(_, t)| *t)
+            .expect("suite contains FEATHER");
+        for (entry, t) in &all {
+            rows.push(vec![
+                entry.label.clone(),
+                entry.layout_note.clone(),
+                format!("{:.2}x", t.cycles as f64 / feather.cycles.max(1) as f64),
+                format!("{:.2}x", t.pj_per_mac() / feather.pj_per_mac().max(1e-12)),
+                format!("{:.0}%", t.utilization * 100.0),
+                format!("{:.1}%", 100.0 * t.stall_cycles as f64 / t.cycles.max(1) as f64),
+                format!("{:.1}%", 100.0 * t.reorder_cycles as f64 / t.cycles.max(1) as f64),
+            ]);
+        }
+        print_table(
+            &format!("Fig. 13 — {} ({} layers)", net.name, layers.len()),
+            &[
+                "design",
+                "layout/reorder",
+                "norm. latency",
+                "norm. pJ/MAC",
+                "utilization",
+                "stall",
+                "reorder",
+            ],
+            &rows,
+        );
+    }
+}

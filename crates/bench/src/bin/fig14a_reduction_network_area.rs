@@ -1,0 +1,27 @@
+//! Fig. 14a: area and power of the ART (MAERI), FAN (SIGMA) and BIRRD
+//! (FEATHER) reduction networks for 16–256 reduction inputs.
+
+use feather_areamodel::networks::ReductionNetworkModel;
+use feather_bench::print_table;
+
+fn main() {
+    let sweep = ReductionNetworkModel::fig14a_sweep();
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|m| {
+            vec![
+                m.kind.name().to_string(),
+                m.inputs.to_string(),
+                m.stages.to_string(),
+                format!("{:.0}", m.area_um2),
+                format!("{:.2}", (m.area_um2).log2()),
+                format!("{:.1}", m.power_mw),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 14a — reduction network area/power scaling (TSMC 28 nm, int32 adders)",
+        &["network", "inputs", "stages", "area (um^2)", "log2(area)", "power (mW)"],
+        &rows,
+    );
+}

@@ -1,0 +1,47 @@
+//! Fig. 14b: per-component resource breakdown of 256-PE Eyeriss-like, SIGMA
+//! and FEATHER instances, plus the headline area ratios (FEATHER ≈ 1.06× an
+//! Eyeriss-like design; SIGMA ≈ 2.4–2.9× FEATHER; BIRRD ≈ 4 % of the die).
+
+use feather_areamodel::breakdown::{design_breakdown, Component, Design256};
+use feather_bench::print_table;
+
+fn main() {
+    let breakdowns: Vec<_> = Design256::ALL.iter().map(|d| design_breakdown(*d)).collect();
+
+    let mut rows = Vec::new();
+    for component in Component::ALL {
+        let mut row = vec![component.name().to_string()];
+        for b in &breakdowns {
+            row.push(format!("{:.0}", b.area_of(component)));
+        }
+        rows.push(row);
+    }
+    let mut total_row = vec!["TOTAL".to_string()];
+    for b in &breakdowns {
+        total_row.push(format!("{:.0}", b.total_um2()));
+    }
+    rows.push(total_row);
+    print_table(
+        "Fig. 14b — resource breakdown (um^2, 256 PEs each)",
+        &["component", "Eyeriss-like-256", "SIGMA-256", "FEATHER-256"],
+        &rows,
+    );
+
+    let eyeriss = breakdowns[0].total_um2();
+    let sigma = breakdowns[1].total_um2();
+    let feather = breakdowns[2].total_um2();
+    let birrd = breakdowns[2].area_of(Component::ReductionNoc);
+    let ratios = vec![
+        vec!["FEATHER / Eyeriss-like".to_string(), format!("{:.2}x", feather / eyeriss)],
+        vec!["SIGMA / FEATHER".to_string(), format!("{:.2}x", sigma / feather)],
+        vec!["BIRRD share of FEATHER die".to_string(), format!("{:.1}%", 100.0 * birrd / feather)],
+        vec![
+            "FEATHER Redn. NoC vs SIGMA Redn. NoC".to_string(),
+            format!(
+                "{:.0}% smaller",
+                100.0 * (1.0 - birrd / breakdowns[1].area_of(Component::ReductionNoc))
+            ),
+        ],
+    ];
+    print_table("Fig. 14b — headline ratios", &["quantity", "value"], &ratios);
+}

@@ -1,0 +1,33 @@
+//! Table IV: the evaluation setup matrix — every design's run-time
+//! flexibility, reordering support, PE count and evaluation method.
+
+use feather_baselines::devices::device_suite;
+use feather_baselines::suite::fig13_suite;
+use feather_bench::print_table;
+
+fn main() {
+    let mut rows = Vec::new();
+    for arch in device_suite() {
+        rows.push(vec![
+            arch.name.clone(),
+            "real-device model".to_string(),
+            format!("{}", arch.shape.pes()),
+            format!("{:?}", arch.reorder),
+            format!("{}", arch.dtype),
+        ]);
+    }
+    for entry in fig13_suite(16, 16) {
+        rows.push(vec![
+            format!("{} ({})", entry.label, entry.layout_note),
+            "Layoutloop".to_string(),
+            format!("{}", entry.arch.shape.pes()),
+            format!("{:?}", entry.arch.reorder),
+            format!("{}", entry.arch.dtype),
+        ]);
+    }
+    print_table(
+        "Table IV — evaluation setup",
+        &["design", "evaluation method", "#PE", "reorder support", "datatype"],
+        &rows,
+    );
+}

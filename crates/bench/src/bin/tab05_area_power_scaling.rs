@@ -1,0 +1,36 @@
+//! Table V: FEATHER post-PnR area/power/frequency at array shapes from 4×4 to
+//! 64×128 — the analytic model next to the paper's measured values.
+
+use feather_areamodel::scaling::{feather_area_power, table_v_shapes};
+use feather_bench::print_table;
+
+fn main() {
+    let mut rows = Vec::new();
+    for (r, c, paper_area, paper_power) in table_v_shapes() {
+        let m = feather_area_power(r, c);
+        rows.push(vec![
+            format!("{r}x{c}"),
+            format!("{:.0}", m.area_um2),
+            format!("{paper_area:.0}"),
+            format!("{:.2}x", m.area_um2 / paper_area),
+            format!("{:.1}", m.power_mw),
+            format!("{paper_power:.1}"),
+            format!("{:.1}", m.frequency_ghz),
+            format!("{:.1}%", m.birrd_fraction() * 100.0),
+        ]);
+    }
+    print_table(
+        "Table V — FEATHER area/power scaling (model vs paper, TSMC 28 nm)",
+        &[
+            "shape",
+            "area model (um^2)",
+            "area paper (um^2)",
+            "ratio",
+            "power model (mW)",
+            "power paper (mW)",
+            "freq (GHz)",
+            "BIRRD share",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,430 @@
+//! Routing: turning a *reduction-reorder request* into per-stage switch
+//! configurations.
+//!
+//! The paper routes BIRRD with a multicast-style path-selection algorithm
+//! (Arora–Leighton–Maggs) and falls back to brute force for the rare patterns
+//! the heuristic misses (§III-B.3). We implement the same idea as a
+//! depth-first search over stage configurations with two accelerators:
+//!
+//! * **reachability pruning** — a signal is only allowed onto a link from
+//!   which its destination output port is still reachable;
+//! * **merge-first heuristic** — when two signals of the same reduction group
+//!   meet at a switch, configurations that add them are explored first
+//!   (reduction can never hurt: it frees a link).
+//!
+//! The search is deterministic for a given seed; randomized restarts with
+//! different tie-breaking are used before giving up.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::switch::EggConfig;
+use crate::topology::Topology;
+
+/// Identifier of a reduction group.
+pub type GroupId = usize;
+
+/// A reduction-reorder request: for each input port, which group it belongs to
+/// (or `None` if the port carries no data), and for each group, the output
+/// port its reduced value must reach.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReductionRequest {
+    /// Group membership per input port (`None` = no data on that port).
+    pub input_groups: Vec<Option<GroupId>>,
+    /// Destination output port per group.
+    pub group_destinations: BTreeMap<GroupId, usize>,
+}
+
+impl ReductionRequest {
+    /// Builds a request from `(member input ports, destination port)` tuples.
+    ///
+    /// # Errors
+    /// Returns [`RouteError::MalformedRequest`] if a port is referenced twice,
+    /// a port or destination is out of range, or two groups share a destination.
+    pub fn from_groups(
+        width: usize,
+        groups: &[(Vec<usize>, usize)],
+    ) -> Result<Self, RouteError> {
+        let mut input_groups = vec![None; width];
+        let mut group_destinations = BTreeMap::new();
+        let mut dests_seen = std::collections::BTreeSet::new();
+        for (gid, (members, dest)) in groups.iter().enumerate() {
+            if *dest >= width {
+                return Err(RouteError::MalformedRequest(format!(
+                    "destination port {dest} out of range for width {width}"
+                )));
+            }
+            if !dests_seen.insert(*dest) {
+                return Err(RouteError::MalformedRequest(format!(
+                    "two groups target output port {dest}"
+                )));
+            }
+            if members.is_empty() {
+                return Err(RouteError::MalformedRequest(format!(
+                    "group {gid} has no member inputs"
+                )));
+            }
+            for &port in members {
+                if port >= width {
+                    return Err(RouteError::MalformedRequest(format!(
+                        "input port {port} out of range for width {width}"
+                    )));
+                }
+                if input_groups[port].is_some() {
+                    return Err(RouteError::MalformedRequest(format!(
+                        "input port {port} appears in two groups"
+                    )));
+                }
+                input_groups[port] = Some(gid);
+            }
+            group_destinations.insert(gid, *dest);
+        }
+        Ok(ReductionRequest {
+            input_groups,
+            group_destinations,
+        })
+    }
+
+    /// A pure permutation request: input `i` goes (un-reduced) to `perm[i]`.
+    ///
+    /// # Errors
+    /// Returns [`RouteError::MalformedRequest`] if `perm` is not a permutation
+    /// of `0..width`.
+    pub fn permutation(perm: &[usize]) -> Result<Self, RouteError> {
+        let width = perm.len();
+        let groups: Vec<(Vec<usize>, usize)> =
+            perm.iter().enumerate().map(|(i, &d)| (vec![i], d)).collect();
+        Self::from_groups(width, &groups)
+    }
+
+    /// Number of input ports.
+    pub fn width(&self) -> usize {
+        self.input_groups.len()
+    }
+
+    /// Number of reduction groups.
+    pub fn num_groups(&self) -> usize {
+        self.group_destinations.len()
+    }
+
+    /// Number of live inputs (ports that carry data).
+    pub fn live_inputs(&self) -> usize {
+        self.input_groups.iter().filter(|g| g.is_some()).count()
+    }
+}
+
+/// Routing failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The request itself is inconsistent.
+    MalformedRequest(String),
+    /// The request references a different width than the network.
+    WidthMismatch {
+        /// Network width.
+        network: usize,
+        /// Request width.
+        request: usize,
+    },
+    /// The search exhausted its budget without finding a configuration.
+    Unroutable {
+        /// Number of search nodes explored before giving up.
+        explored: u64,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::MalformedRequest(msg) => write!(f, "malformed reduction request: {msg}"),
+            RouteError::WidthMismatch { network, request } => write!(
+                f,
+                "request width {request} does not match network width {network}"
+            ),
+            RouteError::Unroutable { explored } => {
+                write!(f, "no routing found after exploring {explored} configurations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// One live signal travelling through the network during routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Signal {
+    group: GroupId,
+    dest: usize,
+}
+
+pub(crate) struct Router<'a> {
+    topology: &'a Topology,
+    reach: Vec<Vec<u64>>,
+    budget: u64,
+    budget_this_restart: u64,
+    explored: u64,
+}
+
+impl<'a> Router<'a> {
+    pub(crate) fn new(topology: &'a Topology, budget: u64) -> Self {
+        Router {
+            reach: topology.reachability(),
+            topology,
+            budget,
+            budget_this_restart: budget,
+            explored: 0,
+        }
+    }
+
+    /// Attempts to find a full network configuration for the request,
+    /// retrying with different randomized tie-breaking before giving up.
+    pub(crate) fn route(
+        &mut self,
+        request: &ReductionRequest,
+    ) -> Result<Vec<Vec<EggConfig>>, RouteError> {
+        let width = self.topology.width();
+        if request.width() != width {
+            return Err(RouteError::WidthMismatch {
+                network: width,
+                request: request.width(),
+            });
+        }
+        let initial: Vec<Option<Signal>> = request
+            .input_groups
+            .iter()
+            .map(|g| {
+                g.map(|group| Signal {
+                    group,
+                    dest: request.group_destinations[&group],
+                })
+            })
+            .collect();
+
+        // Randomized restarts: the first pass uses the natural (deterministic)
+        // option order; later passes shuffle tie-breaking. Each restart gets a
+        // small node budget so a doomed ordering is abandoned quickly — for a
+        // rearrangeably non-blocking network a fresh random ordering succeeds
+        // with good probability, so many cheap restarts beat one deep search.
+        let restarts = 512u64;
+        let per_restart = (self.budget / restarts).max(2_000);
+        let mut total_explored = 0u64;
+        for seed in 0..restarts {
+            self.explored = 0;
+            self.budget_this_restart = per_restart;
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut config = vec![vec![EggConfig::Pass; width / 2]; self.topology.stages()];
+            let found = self.search(0, &initial, &mut config, seed > 0, &mut rng);
+            total_explored += self.explored;
+            if found {
+                return Ok(config);
+            }
+            if total_explored > self.budget {
+                break;
+            }
+        }
+        Err(RouteError::Unroutable {
+            explored: total_explored,
+        })
+    }
+
+    /// Depth-first search over stages. `signals` holds the live signal on each
+    /// input link of stage `stage`.
+    fn search(
+        &mut self,
+        stage: usize,
+        signals: &[Option<Signal>],
+        config: &mut [Vec<EggConfig>],
+        shuffle: bool,
+        rng: &mut ChaCha8Rng,
+    ) -> bool {
+        self.explored += 1;
+        if self.explored > self.budget_this_restart {
+            return false;
+        }
+        let width = self.topology.width();
+        if stage == self.topology.stages() {
+            // All signals have crossed the last permutation already (the
+            // recursion applies perms when moving between stages), so
+            // `signals` here are the values on the final output ports.
+            return self.check_final(signals);
+        }
+
+        // Enumerate the viable configurations of every switch in this stage.
+        let mut per_switch_options: Vec<Vec<(EggConfig, [Option<Signal>; 2])>> =
+            Vec::with_capacity(width / 2);
+        for sw in 0..width / 2 {
+            let left = signals[2 * sw];
+            let right = signals[2 * sw + 1];
+            let mut options = self.switch_options(stage, sw, left, right);
+            if options.is_empty() {
+                return false;
+            }
+            if shuffle {
+                options.shuffle(rng);
+            }
+            per_switch_options.push(options);
+        }
+
+        // Order switches by how constrained they are (fewest options first).
+        let mut order: Vec<usize> = (0..width / 2).collect();
+        order.sort_by_key(|&sw| per_switch_options[sw].len());
+
+        // Cartesian product over switch options, depth-first with early
+        // destination-conflict pruning at the stage level.
+        self.enumerate_stage(
+            stage,
+            &order,
+            0,
+            &per_switch_options,
+            &mut vec![None; width],
+            config,
+            shuffle,
+            rng,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn enumerate_stage(
+        &mut self,
+        stage: usize,
+        order: &[usize],
+        idx: usize,
+        options: &[Vec<(EggConfig, [Option<Signal>; 2])>],
+        next_signals: &mut Vec<Option<Signal>>,
+        config: &mut [Vec<EggConfig>],
+        shuffle: bool,
+        rng: &mut ChaCha8Rng,
+    ) -> bool {
+        self.explored += 1;
+        if self.explored > self.budget_this_restart {
+            return false;
+        }
+        if idx == order.len() {
+            let snapshot = next_signals.clone();
+            return self.search(stage + 1, &snapshot, config, shuffle, rng);
+        }
+        let sw = order[idx];
+        for (cfg, outputs) in &options[sw] {
+            // Place the switch outputs onto the next level's input links via
+            // the inter-stage permutation.
+            let mut placed = Vec::with_capacity(2);
+            let mut ok = true;
+            for (k, sig) in outputs.iter().enumerate() {
+                if let Some(sig) = *sig {
+                    let link = self.topology.next_port(stage, 2 * sw + k);
+                    // Reachability check at the next level (or exact match at
+                    // the final outputs).
+                    let reachable = if stage + 1 == self.topology.stages() {
+                        link == sig.dest
+                    } else {
+                        self.reach[stage + 1][link] & (1u64 << sig.dest) != 0
+                    };
+                    if !reachable || next_signals[link].is_some() {
+                        ok = false;
+                        break;
+                    }
+                    next_signals[link] = Some(sig);
+                    placed.push(link);
+                }
+            }
+            if ok {
+                config[stage][sw] = *cfg;
+                if self.enumerate_stage(
+                    stage,
+                    order,
+                    idx + 1,
+                    options,
+                    next_signals,
+                    config,
+                    shuffle,
+                    rng,
+                ) {
+                    return true;
+                }
+            }
+            for link in placed {
+                next_signals[link] = None;
+            }
+        }
+        false
+    }
+
+    /// The viable configurations of one switch given its two input signals,
+    /// each paired with the signals it leaves on the switch's two outputs.
+    fn switch_options(
+        &self,
+        _stage: usize,
+        _sw: usize,
+        left: Option<Signal>,
+        right: Option<Signal>,
+    ) -> Vec<(EggConfig, [Option<Signal>; 2])> {
+        match (left, right) {
+            (None, None) => vec![(EggConfig::Pass, [None, None])],
+            (Some(l), None) => vec![
+                (EggConfig::Pass, [Some(l), None]),
+                (EggConfig::Swap, [None, Some(l)]),
+            ],
+            (None, Some(r)) => vec![
+                (EggConfig::Pass, [None, Some(r)]),
+                (EggConfig::Swap, [Some(r), None]),
+            ],
+            (Some(l), Some(r)) if l.group == r.group => {
+                // Merge-first: adding frees a link and can never block a route
+                // that keeping both signals alive would allow, because the
+                // merged signal has the same single destination.
+                vec![
+                    (EggConfig::AddLeft, [Some(l), None]),
+                    (EggConfig::AddRight, [None, Some(r)]),
+                ]
+            }
+            (Some(l), Some(r)) => vec![
+                (EggConfig::Pass, [Some(l), Some(r)]),
+                (EggConfig::Swap, [Some(r), Some(l)]),
+            ],
+        }
+    }
+
+    fn check_final(&self, outputs: &[Option<Signal>]) -> bool {
+        let mut seen_groups = std::collections::BTreeSet::new();
+        for (port, sig) in outputs.iter().enumerate() {
+            if let Some(sig) = sig {
+                if sig.dest != port {
+                    return false;
+                }
+                if !seen_groups.insert(sig.group) {
+                    // Two un-merged fragments of the same group survived.
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builders_validate() {
+        assert!(ReductionRequest::from_groups(4, &[(vec![0, 1], 0), (vec![1, 2], 1)]).is_err());
+        assert!(ReductionRequest::from_groups(4, &[(vec![0], 5)]).is_err());
+        assert!(ReductionRequest::from_groups(4, &[(vec![9], 0)]).is_err());
+        assert!(ReductionRequest::from_groups(4, &[(vec![0], 1), (vec![1], 1)]).is_err());
+        assert!(ReductionRequest::from_groups(4, &[(vec![], 1)]).is_err());
+        let ok = ReductionRequest::from_groups(4, &[(vec![0, 1], 3), (vec![2, 3], 0)]).unwrap();
+        assert_eq!(ok.num_groups(), 2);
+        assert_eq!(ok.live_inputs(), 4);
+    }
+
+    #[test]
+    fn permutation_request() {
+        let r = ReductionRequest::permutation(&[3, 2, 1, 0]).unwrap();
+        assert_eq!(r.num_groups(), 4);
+        assert_eq!(r.group_destinations[&0], 3);
+    }
+}

@@ -1,0 +1,130 @@
+//! The 2×2 reorder-reduction switch ("Egg") and its configuration word.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one Egg switch (2-bit control word in hardware, §III-B.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum EggConfig {
+    /// Pass (`=`): left input → left output, right input → right output.
+    #[default]
+    Pass,
+    /// Swap (`×`): left input → right output, right input → left output.
+    Swap,
+    /// Add-Left (`∓`): sum of both inputs → left output; right output carries
+    /// the right input unchanged (the "secondary output inherits the input
+    /// from the same direction").
+    AddLeft,
+    /// Add-Right (`±`): sum of both inputs → right output; left output carries
+    /// the left input unchanged.
+    AddRight,
+}
+
+impl EggConfig {
+    /// All four configurations.
+    pub const ALL: [EggConfig; 4] = [
+        EggConfig::Pass,
+        EggConfig::Swap,
+        EggConfig::AddLeft,
+        EggConfig::AddRight,
+    ];
+
+    /// The 2-bit encoding used in the instruction buffer.
+    pub fn bits(self) -> u8 {
+        match self {
+            EggConfig::Pass => 0b00,
+            EggConfig::Swap => 0b01,
+            EggConfig::AddLeft => 0b10,
+            EggConfig::AddRight => 0b11,
+        }
+    }
+
+    /// Decodes a 2-bit control word.
+    pub fn from_bits(bits: u8) -> Self {
+        match bits & 0b11 {
+            0b00 => EggConfig::Pass,
+            0b01 => EggConfig::Swap,
+            0b10 => EggConfig::AddLeft,
+            _ => EggConfig::AddRight,
+        }
+    }
+
+    /// Returns `true` if this configuration performs an addition.
+    pub fn is_reduce(self) -> bool {
+        matches!(self, EggConfig::AddLeft | EggConfig::AddRight)
+    }
+
+    /// Applies the switch to two optional input values, returning
+    /// `(left_output, right_output)`.
+    ///
+    /// Missing (`None`) inputs are treated as "no data on the wire": an add
+    /// with one missing operand forwards the present operand, an add with two
+    /// missing operands produces nothing.
+    pub fn apply(self, left: Option<i64>, right: Option<i64>) -> (Option<i64>, Option<i64>) {
+        match self {
+            EggConfig::Pass => (left, right),
+            EggConfig::Swap => (right, left),
+            EggConfig::AddLeft => (merge(left, right), None),
+            EggConfig::AddRight => (None, merge(left, right)),
+        }
+    }
+}
+
+fn merge(a: Option<i64>, b: Option<i64>) -> Option<i64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x + y),
+        (Some(x), None) | (None, Some(x)) => Some(x),
+        (None, None) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip() {
+        for cfg in EggConfig::ALL {
+            assert_eq!(EggConfig::from_bits(cfg.bits()), cfg);
+        }
+    }
+
+    #[test]
+    fn pass_and_swap() {
+        assert_eq!(
+            EggConfig::Pass.apply(Some(1), Some(2)),
+            (Some(1), Some(2))
+        );
+        assert_eq!(
+            EggConfig::Swap.apply(Some(1), Some(2)),
+            (Some(2), Some(1))
+        );
+        assert_eq!(EggConfig::Swap.apply(None, Some(2)), (Some(2), None));
+    }
+
+    #[test]
+    fn add_directions() {
+        assert_eq!(
+            EggConfig::AddLeft.apply(Some(3), Some(4)),
+            (Some(7), None)
+        );
+        assert_eq!(
+            EggConfig::AddRight.apply(Some(3), Some(4)),
+            (None, Some(7))
+        );
+    }
+
+    #[test]
+    fn add_with_missing_operand_forwards() {
+        assert_eq!(EggConfig::AddLeft.apply(Some(3), None), (Some(3), None));
+        assert_eq!(EggConfig::AddRight.apply(None, Some(4)), (None, Some(4)));
+        assert_eq!(EggConfig::AddLeft.apply(None, None), (None, None));
+    }
+
+    #[test]
+    fn is_reduce_classification() {
+        assert!(!EggConfig::Pass.is_reduce());
+        assert!(!EggConfig::Swap.is_reduce());
+        assert!(EggConfig::AddLeft.is_reduce());
+        assert!(EggConfig::AddRight.is_reduce());
+    }
+}

@@ -1,0 +1,78 @@
+//! Static configuration of a FEATHER instance.
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware parameters of one FEATHER instance (Fig. 7 / Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatherConfig {
+    /// Number of PE rows (`AH`).
+    pub rows: usize,
+    /// Number of PE columns (`AW`) — also the BIRRD width and the number of
+    /// StaB banks. Must be a power of two.
+    pub cols: usize,
+    /// Depth (lines per bank) of each StaB half.
+    pub stab_lines: usize,
+    /// Depth of the streaming buffer.
+    pub strb_lines: usize,
+}
+
+impl FeatherConfig {
+    /// Creates a configuration with default buffer depths sized generously
+    /// enough for the evaluation layers.
+    ///
+    /// # Panics
+    /// Panics if `cols` is not a power of two (BIRRD requirement) or either
+    /// dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "array dimensions must be non-zero");
+        assert!(
+            cols.is_power_of_two(),
+            "AW (columns / BIRRD width) must be a power of two, got {cols}"
+        );
+        FeatherConfig {
+            rows,
+            cols,
+            stab_lines: 65_536,
+            strb_lines: 16_384,
+        }
+    }
+
+    /// Overrides the StaB depth (builder style).
+    pub fn with_stab_lines(mut self, lines: usize) -> Self {
+        self.stab_lines = lines;
+        self
+    }
+
+    /// Total number of PEs.
+    pub fn num_pes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// The 16×16 configuration used for most of the paper's evaluation.
+    pub fn paper_16x16() -> Self {
+        FeatherConfig::new(16, 16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config() {
+        let c = FeatherConfig::paper_16x16();
+        assert_eq!(c.num_pes(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_cols_rejected() {
+        FeatherConfig::new(4, 6);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = FeatherConfig::new(4, 4).with_stab_lines(128);
+        assert_eq!(c.stab_lines, 128);
+    }
+}

@@ -1,0 +1,50 @@
+//! # feather
+//!
+//! End-to-end functional simulator of the FEATHER accelerator (ISCA 2024):
+//! the NEST PE array, the BIRRD reorder-reduction network, the ping/pong
+//! Stationary Buffer (StaB), the Streaming Buffer (StrB) and the quantization
+//! module, orchestrated by a per-layer controller that implements
+//! **Reorder-in-Reduction (RIR)** — output activations are written back to the
+//! StaB already in the layout the *next* layer's dataflow wants, at zero extra
+//! latency.
+//!
+//! The simulator is *functional*: it moves real INT8/INT32 values through the
+//! PE accumulators, the BIRRD switches and the banked buffers, and its results
+//! are checked against the golden convolution/GEMM kernels of
+//! [`feather_arch::tensor`]. A cycle-accounting layer
+//! ([`feather_nest::timing`]) and the buffer access statistics provide the
+//! latency/energy numbers used by the examples and benchmarks.
+//!
+//! # Example
+//!
+//! ```
+//! use feather::{Feather, FeatherConfig, LayerMapping};
+//! use feather_arch::workload::ConvLayer;
+//! use feather_arch::tensor::Tensor4;
+//!
+//! let layer = ConvLayer::new(1, 8, 8, 6, 6, 3, 3).with_padding(1).with_name("demo");
+//! let iacts = Tensor4::random([1, 8, 6, 6], 1);
+//! let weights = Tensor4::random([8, 8, 3, 3], 2);
+//!
+//! let mut acc = Feather::new(FeatherConfig::new(4, 4));
+//! let mapping = LayerMapping::weight_stationary(&layer, &acc.config(), "HWC_C4", "MPQ_Q4");
+//! let run = acc.execute_conv(&layer, &mapping, &iacts, &weights).unwrap();
+//!
+//! // The functional result matches the golden convolution.
+//! let golden = feather_arch::tensor::conv2d_reference(&layer, &iacts, &weights).unwrap();
+//! assert_eq!(run.oacts, golden);
+//! assert!(run.report.utilization > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod accelerator;
+pub mod config;
+pub mod mapping;
+pub mod report;
+
+pub use accelerator::Feather;
+pub use config::FeatherConfig;
+pub use mapping::LayerMapping;
+pub use report::{LayerRun, RunReport};

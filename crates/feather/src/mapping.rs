@@ -1,0 +1,182 @@
+//! Per-layer mapping: which (dataflow, layout) pair FEATHER runs a layer with.
+
+use feather_arch::dataflow::{ArrayShape, Dataflow, LoopNest, ParallelDim};
+use feather_arch::dims::Dim;
+use feather_arch::layout::Layout;
+use feather_arch::workload::ConvLayer;
+use feather_arch::ArchError;
+use serde::{Deserialize, Serialize};
+
+use crate::config::FeatherConfig;
+
+/// The mapping of one layer onto FEATHER: output channels across PE rows,
+/// input channels (and optionally output pixels) across PE columns, with the
+/// iAct layout the data currently sits in and the oAct layout RIR must produce
+/// for the next layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerMapping {
+    /// Output channels mapped across PE rows.
+    pub m_rows: usize,
+    /// Input channels mapped across adjacent PE columns (the BIRRD reduction
+    /// group size).
+    pub c_cols: usize,
+    /// Output-width positions mapped across column groups.
+    pub q_cols: usize,
+    /// Layout of the input activations in the StaB half being read.
+    pub iact_layout: Layout,
+    /// Layout the output activations are written back in (next layer's iActs).
+    pub oact_layout: Layout,
+}
+
+impl LayerMapping {
+    /// Builds the weight-stationary mapping used throughout the paper's
+    /// walk-throughs (Fig. 9 / Fig. 11): `M` across rows, `C` across adjacent
+    /// columns, remaining columns used for `Q` parallelism.
+    ///
+    /// # Panics
+    /// Panics if the layout strings do not parse (they are compile-time
+    /// constants in normal use).
+    pub fn weight_stationary(
+        layer: &ConvLayer,
+        config: &FeatherConfig,
+        iact_layout: &str,
+        oact_layout: &str,
+    ) -> Self {
+        let m_rows = layer.m.min(config.rows).max(1);
+        let c_cols = layer.c.min(config.cols).max(1);
+        let q_cols = layer
+            .output_width()
+            .min(config.cols / c_cols)
+            .max(1);
+        LayerMapping {
+            m_rows,
+            c_cols,
+            q_cols,
+            iact_layout: iact_layout.parse().expect("iact layout string must be valid"),
+            oact_layout: oact_layout.parse().expect("oact layout string must be valid"),
+        }
+    }
+
+    /// Validates the mapping against a layer and hardware configuration.
+    ///
+    /// # Errors
+    /// Returns [`ArchError::InvalidDataflow`] if factors are zero, exceed the
+    /// array, or the oAct layout's line is wider than the number of StaB banks.
+    pub fn validate(&self, layer: &ConvLayer, config: &FeatherConfig) -> Result<(), ArchError> {
+        if self.m_rows == 0 || self.c_cols == 0 || self.q_cols == 0 {
+            return Err(ArchError::InvalidDataflow(
+                "mapping factors must be non-zero".to_string(),
+            ));
+        }
+        if self.m_rows > config.rows {
+            return Err(ArchError::InvalidDataflow(format!(
+                "m_rows {} exceeds array rows {}",
+                self.m_rows, config.rows
+            )));
+        }
+        if self.c_cols * self.q_cols > config.cols {
+            return Err(ArchError::InvalidDataflow(format!(
+                "c_cols*q_cols = {} exceeds array columns {}",
+                self.c_cols * self.q_cols,
+                config.cols
+            )));
+        }
+        if self.c_cols > layer.c || self.m_rows > layer.m {
+            return Err(ArchError::InvalidDataflow(
+                "spatial factors exceed workload dimensions".to_string(),
+            ));
+        }
+        if self.oact_layout.line_size() > config.cols {
+            return Err(ArchError::InvalidDataflow(format!(
+                "oAct layout line size {} exceeds the {} StaB banks",
+                self.oact_layout.line_size(),
+                config.cols
+            )));
+        }
+        Ok(())
+    }
+
+    /// Number of column groups (independent outputs) per row fire.
+    pub fn groups_per_fire(&self) -> usize {
+        self.q_cols
+    }
+
+    /// The equivalent [`Dataflow`] description (for reporting and for feeding
+    /// the analytic models).
+    pub fn as_dataflow(&self, layer: &ConvLayer, config: &FeatherConfig) -> Dataflow {
+        let shape = ArrayShape::new(config.rows, config.cols);
+        let temporal = LoopNest::new(
+            [
+                (Dim::N, layer.n),
+                (Dim::M, layer.m.div_ceil(self.m_rows)),
+                (Dim::C, layer.c.div_ceil(self.c_cols)),
+                (Dim::P, layer.output_height()),
+                (Dim::Q, layer.output_width().div_ceil(self.q_cols)),
+                (Dim::R, layer.r),
+                (Dim::S, layer.s),
+            ]
+            .into_iter()
+            .filter(|(_, e)| *e > 1),
+        );
+        Dataflow::new(
+            format!("feather-M{}xC{}xQ{}", self.m_rows, self.c_cols, self.q_cols),
+            shape,
+            vec![ParallelDim::new(Dim::M, self.m_rows)],
+            vec![
+                ParallelDim::new(Dim::C, self.c_cols),
+                ParallelDim::new(Dim::Q, self.q_cols),
+            ],
+            temporal,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> ConvLayer {
+        ConvLayer::new(1, 8, 8, 6, 6, 3, 3).with_padding(1)
+    }
+
+    #[test]
+    fn weight_stationary_mapping_fits() {
+        let cfg = FeatherConfig::new(4, 4);
+        let m = LayerMapping::weight_stationary(&layer(), &cfg, "HWC_C4", "MPQ_Q4");
+        m.validate(&layer(), &cfg).unwrap();
+        assert_eq!(m.m_rows, 4);
+        assert_eq!(m.c_cols, 4);
+        assert_eq!(m.q_cols, 1);
+    }
+
+    #[test]
+    fn small_channel_layer_uses_q_parallelism() {
+        let l = ConvLayer::new(1, 8, 2, 6, 6, 3, 3).with_padding(1);
+        let cfg = FeatherConfig::new(4, 8);
+        let m = LayerMapping::weight_stationary(&l, &cfg, "HWC_C2", "MPQ_Q8");
+        assert_eq!(m.c_cols, 2);
+        assert_eq!(m.q_cols, 4);
+        m.validate(&l, &cfg).unwrap();
+    }
+
+    #[test]
+    fn validation_catches_oversized_factors() {
+        let cfg = FeatherConfig::new(4, 4);
+        let mut m = LayerMapping::weight_stationary(&layer(), &cfg, "HWC_C4", "MPQ_Q4");
+        m.c_cols = 8;
+        assert!(m.validate(&layer(), &cfg).is_err());
+        let mut m2 = LayerMapping::weight_stationary(&layer(), &cfg, "HWC_C4", "MPQ_Q4");
+        m2.oact_layout = "MPQ_Q8".parse().unwrap();
+        assert!(m2.validate(&layer(), &cfg).is_err());
+    }
+
+    #[test]
+    fn as_dataflow_is_valid() {
+        let cfg = FeatherConfig::new(4, 4);
+        let l = layer();
+        let m = LayerMapping::weight_stationary(&l, &cfg, "HWC_C4", "MPQ_Q4");
+        let df = m.as_dataflow(&l, &cfg);
+        df.validate(&l.clone().into()).unwrap();
+        assert_eq!(df.spatial_reduction_size(), 4);
+    }
+}

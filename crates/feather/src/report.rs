@@ -1,0 +1,97 @@
+//! Results of running a layer on the functional simulator.
+
+use feather_arch::energy::EnergyBreakdown;
+use feather_arch::tensor::Tensor4;
+use feather_memsim::AccessStats;
+use serde::{Deserialize, Serialize};
+
+/// Performance/energy accounting for one layer execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Total cycles, including pipeline fill/drain and any stalls.
+    pub cycles: u64,
+    /// Cycles lost to StaB bank conflicts (zero when the mapping is concordant).
+    pub stall_cycles: u64,
+    /// Useful multiply-accumulates performed.
+    pub macs: u64,
+    /// Number of BIRRD passes (row fires).
+    pub birrd_passes: u64,
+    /// Number of adder activations inside BIRRD.
+    pub birrd_adds: u64,
+    /// StaB read-side access statistics.
+    pub iact_stats: AccessStats,
+    /// StaB write-side access statistics.
+    pub oact_stats: AccessStats,
+    /// Steady-state compute utilization (useful MACs / PE·cycles).
+    pub utilization: f64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+}
+
+impl RunReport {
+    /// Energy per MAC in pJ.
+    pub fn pj_per_mac(&self) -> f64 {
+        self.energy.pj_per_mac(self.macs)
+    }
+
+    /// Throughput in MACs per cycle.
+    pub fn macs_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.macs as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The output tensor plus the run report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerRun {
+    /// Output activations (INT32 accumulators, pre-quantization), in
+    /// `(N, M, P, Q)` order.
+    pub oacts: Tensor4<i32>,
+    /// Performance/energy report.
+    pub report: RunReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let report = RunReport {
+            cycles: 100,
+            stall_cycles: 0,
+            macs: 400,
+            birrd_passes: 10,
+            birrd_adds: 30,
+            iact_stats: AccessStats::default(),
+            oact_stats: AccessStats::default(),
+            utilization: 1.0,
+            energy: EnergyBreakdown {
+                compute_pj: 200.0,
+                ..Default::default()
+            },
+        };
+        assert!((report.macs_per_cycle() - 4.0).abs() < 1e-12);
+        assert!((report.pj_per_mac() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_guard() {
+        let report = RunReport {
+            cycles: 0,
+            stall_cycles: 0,
+            macs: 0,
+            birrd_passes: 0,
+            birrd_adds: 0,
+            iact_stats: AccessStats::default(),
+            oact_stats: AccessStats::default(),
+            utilization: 0.0,
+            energy: EnergyBreakdown::default(),
+        };
+        assert_eq!(report.macs_per_cycle(), 0.0);
+        assert_eq!(report.pj_per_mac(), 0.0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Per-cycle access-pattern analysis: which input-activation elements a
+//! dataflow requests concurrently, which buffer lines they live in under a
+//! given layout, and the resulting bank-conflict slowdown.
+//!
+//! This is the machinery behind the tables of Fig. 4 and the slowdown bars of
+//! Fig. 13: for a (workload, dataflow, layout) triple we reconstruct concrete
+//! coordinate sets for a sample of execution cycles and ask the
+//! [`ConflictModel`] how many cycles the reads actually take.
+
+use std::collections::BTreeMap;
+
+use feather_arch::dataflow::Dataflow;
+use feather_arch::dims::Dim;
+use feather_arch::layout::Layout;
+use feather_arch::workload::Workload;
+use feather_memsim::ConflictModel;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Summary of the iAct read behaviour of a (workload, dataflow, layout) triple.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessAnalysis {
+    /// Average bank-conflict slowdown across the sampled cycles (≥ 1.0).
+    pub read_slowdown: f64,
+    /// Average number of distinct buffer lines read per cycle.
+    pub avg_lines_per_cycle: f64,
+    /// Number of distinct iAct elements requested per cycle.
+    pub concurrent_reads: usize,
+    /// Number of cycles sampled.
+    pub sampled_cycles: usize,
+}
+
+impl AccessAnalysis {
+    /// Returns `true` when no sampled cycle suffered a bank conflict.
+    pub fn is_concordant(&self) -> bool {
+        self.read_slowdown <= 1.0 + 1e-9
+    }
+}
+
+/// The iAct coordinate a given lane touches for a given temporal base point.
+fn iact_coord(
+    workload: &Workload,
+    base: &BTreeMap<Dim, usize>,
+    lane: &BTreeMap<Dim, usize>,
+    stride: usize,
+    padding: usize,
+) -> BTreeMap<Dim, usize> {
+    let get = |dim: Dim| -> usize {
+        base.get(&dim).copied().unwrap_or(0) + lane.get(&dim).copied().unwrap_or(0)
+    };
+    let c = get(Dim::C).min(workload.dim(Dim::C).saturating_sub(1));
+    let n = get(Dim::N).min(workload.dim(Dim::N).saturating_sub(1));
+    let p = get(Dim::P);
+    let q = get(Dim::Q);
+    let r = get(Dim::R);
+    let s = get(Dim::S);
+    let h_raw = p * stride + r;
+    let w_raw = q * stride + s;
+    let h = h_raw
+        .saturating_sub(padding)
+        .min(workload.dim(Dim::H).saturating_sub(1));
+    let w = w_raw
+        .saturating_sub(padding)
+        .min(workload.dim(Dim::W).saturating_sub(1));
+    [(Dim::N, n), (Dim::C, c), (Dim::H, h), (Dim::W, w)]
+        .into_iter()
+        .collect()
+}
+
+/// Enumerates all spatial-lane offset combinations for the dims that index the
+/// input activations (`N`, `C`, and `P`/`Q`/`R`/`S` through the sliding
+/// window). Dims like `M` broadcast the same iAct to many PEs and therefore do
+/// not multiply the number of distinct requests.
+fn iact_lanes(dataflow: &Dataflow) -> Vec<BTreeMap<Dim, usize>> {
+    let relevant: Vec<(Dim, usize)> = dataflow
+        .spatial_factors()
+        .into_iter()
+        .filter(|(d, _)| matches!(d, Dim::N | Dim::C | Dim::P | Dim::Q | Dim::R | Dim::S))
+        .collect();
+    let mut lanes: Vec<BTreeMap<Dim, usize>> = vec![BTreeMap::new()];
+    for (dim, factor) in relevant {
+        let mut next = Vec::with_capacity(lanes.len() * factor);
+        for lane in &lanes {
+            for off in 0..factor {
+                let mut l = lane.clone();
+                l.insert(dim, off);
+                next.push(l);
+            }
+        }
+        lanes = next;
+    }
+    lanes
+}
+
+/// Dimension extents of the iAct tensor (what the layout maps over).
+pub fn iact_dim_sizes(workload: &Workload) -> BTreeMap<Dim, usize> {
+    [
+        (Dim::N, workload.dim(Dim::N)),
+        (Dim::C, workload.dim(Dim::C)),
+        (Dim::H, workload.dim(Dim::H)),
+        (Dim::W, workload.dim(Dim::W)),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// Analyzes the iAct read pattern of a (workload, dataflow, layout) triple
+/// against a conflict model, sampling up to `max_samples` execution cycles
+/// (deterministically, from `seed`).
+pub fn analyze_iact_reads(
+    workload: &Workload,
+    dataflow: &Dataflow,
+    layout: &Layout,
+    conflicts: &ConflictModel,
+    max_samples: usize,
+    seed: u64,
+) -> AccessAnalysis {
+    let (stride, padding) = match workload.as_conv_layer() {
+        Some(c) => (c.stride, c.padding),
+        None => (1, 0),
+    };
+    let dim_sizes = iact_dim_sizes(workload);
+    let lanes = iact_lanes(dataflow);
+    let spatial = dataflow.spatial_factors();
+
+    // Temporal base points: the per-dimension block index times the spatial
+    // factor gives the starting coordinate of the tile processed that cycle.
+    // We sample the first few steps of every temporal dimension plus random
+    // points, which covers both the "corner" behaviour (cycle 0..3 tables of
+    // Fig. 4) and the steady state.
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut samples: Vec<BTreeMap<Dim, usize>> = Vec::new();
+    let temporal_dims: Vec<(Dim, usize)> = dataflow
+        .temporal
+        .loops
+        .iter()
+        .map(|l| (l.dim, l.extent))
+        .collect();
+    let base_for = |steps: &mut dyn FnMut(Dim, usize) -> usize| -> BTreeMap<Dim, usize> {
+        let mut base = BTreeMap::new();
+        for &(dim, extent) in &temporal_dims {
+            let step = steps(dim, extent);
+            let spatial_f = spatial.get(&dim).copied().unwrap_or(1);
+            base.insert(dim, step * spatial_f);
+        }
+        base
+    };
+    // First four deterministic steps of the innermost loops.
+    for k in 0..4usize {
+        samples.push(base_for(&mut |dim, extent| {
+            if Some(dim) == dataflow.temporal.innermost() {
+                k.min(extent.saturating_sub(1))
+            } else {
+                0
+            }
+        }));
+    }
+    while samples.len() < max_samples.max(4) {
+        let sample = base_for(&mut |_, extent| {
+            if extent <= 1 {
+                0
+            } else {
+                rng.gen_range(0..extent)
+            }
+        });
+        samples.push(sample);
+    }
+
+    let mut total_slowdown = 0.0;
+    let mut total_lines = 0.0;
+    for base in &samples {
+        let coords: Vec<BTreeMap<Dim, usize>> = lanes
+            .iter()
+            .map(|lane| iact_coord(workload, base, lane, stride, padding))
+            .collect();
+        let lines = layout.lines_touched(coords.iter(), &dim_sizes);
+        let assessment = conflicts.assess_reads(lines.iter().copied());
+        total_slowdown += assessment.slowdown;
+        total_lines += assessment.lines_touched as f64;
+    }
+    let n = samples.len() as f64;
+    AccessAnalysis {
+        read_slowdown: total_slowdown / n,
+        avg_lines_per_cycle: total_lines / n,
+        concurrent_reads: lanes.len(),
+        sampled_cycles: samples.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feather_arch::dataflow::ArrayShape;
+    use feather_arch::workload::ConvLayer;
+    use feather_memsim::{Banking, BufferSpec};
+
+    fn conflict_model() -> ConflictModel {
+        // Single bank with dual ports: any access of more than two lines stalls.
+        ConflictModel::new(
+            BufferSpec::new(4096, 8, 1, Banking::VerticalBlocked).with_ports(2, 2),
+        )
+    }
+
+    fn layer47() -> Workload {
+        ConvLayer::new(1, 512, 2048, 7, 7, 3, 3).with_padding(1).into()
+    }
+
+    #[test]
+    fn channel_parallel_on_row_major_conflicts() {
+        // Fig. 4-M7: channel-parallel dataflow + row-major layout → 4 lines
+        // per cycle → 0.5 practical utilization (2× slowdown).
+        let w = layer47();
+        let df = Dataflow::channel_parallel(ArrayShape::new(4, 4), &w, 4);
+        let layout: Layout = "HCW_W8".parse().unwrap();
+        let a = analyze_iact_reads(&w, &df, &layout, &conflict_model(), 8, 0);
+        assert!(a.read_slowdown >= 1.9, "expected ~2x slowdown, got {a:?}");
+        assert!(!a.is_concordant());
+    }
+
+    #[test]
+    fn channel_parallel_on_channel_last_is_concordant() {
+        // Fig. 4-M5/M8 direction: channel-last supplies C0:3 from one line.
+        let w = layer47();
+        let df = Dataflow::channel_parallel(ArrayShape::new(4, 4), &w, 4);
+        let layout: Layout = "HWC_C8".parse().unwrap();
+        let a = analyze_iact_reads(&w, &df, &layout, &conflict_model(), 8, 0);
+        assert!(a.is_concordant(), "{a:?}");
+        assert!(a.avg_lines_per_cycle <= 1.5);
+    }
+
+    #[test]
+    fn sliding_window_parallel_prefers_row_major() {
+        let w: Workload = ConvLayer::new(1, 64, 3, 224, 224, 7, 7)
+            .with_stride(2)
+            .with_padding(3)
+            .into();
+        let df = Dataflow::sliding_window_parallel(ArrayShape::new(4, 4), &w, 4);
+        let row_major: Layout = "HCW_W8".parse().unwrap();
+        let channel_last: Layout = "HWC_W2C3".parse().unwrap();
+        let cm = conflict_model();
+        let rm = analyze_iact_reads(&w, &df, &row_major, &cm, 8, 0);
+        let cl = analyze_iact_reads(&w, &df, &channel_last, &cm, 8, 0);
+        assert!(rm.read_slowdown < cl.read_slowdown, "rm {rm:?} cl {cl:?}");
+    }
+
+    #[test]
+    fn lane_count_matches_concurrent_accesses() {
+        let w = layer47();
+        let df = Dataflow::weight_stationary(ArrayShape::new(16, 16), &w);
+        let layout: Layout = "HWC_C32".parse().unwrap();
+        let a = analyze_iact_reads(&w, &df, &layout, &conflict_model(), 4, 0);
+        assert_eq!(
+            a.concurrent_reads,
+            df.concurrent_accesses(feather_arch::dims::Operand::IActs)
+        );
+    }
+
+    #[test]
+    fn analysis_is_deterministic_for_a_seed() {
+        let w = layer47();
+        let df = Dataflow::channel_parallel(ArrayShape::new(8, 8), &w, 8);
+        let layout: Layout = "HWC_C4W8".parse().unwrap();
+        let cm = conflict_model();
+        let a = analyze_iact_reads(&w, &df, &layout, &cm, 16, 7);
+        let b = analyze_iact_reads(&w, &df, &layout, &cm, 16, 7);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,260 @@
+//! (Dataflow, layout) co-search — the paper's per-layer exploration flow
+//! (§V, §VI-A.2): exhaustively sweep the layout candidates, search dataflows
+//! under each, and keep the pair with the lowest energy-delay product.
+
+use feather_arch::dataflow::Dataflow;
+use feather_arch::layout::Layout;
+use feather_arch::models::Network;
+use feather_arch::workload::Workload;
+use feather_arch::ArchError;
+use serde::{Deserialize, Serialize};
+
+use crate::arch::ArchSpec;
+use crate::evaluate::{evaluate, Evaluation};
+use crate::mapper::{search_dataflows, MapperConfig};
+
+/// The winning (dataflow, layout) pair for one layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoSearchResult {
+    /// The chosen dataflow.
+    pub dataflow: Dataflow,
+    /// The chosen iAct layout.
+    pub layout: Layout,
+    /// Its evaluation.
+    pub evaluation: Evaluation,
+}
+
+/// Co-searches one layer with default mapper settings and no predecessor
+/// layout constraint.
+///
+/// # Errors
+/// Returns an error if no candidate (dataflow, layout) pair is valid for the
+/// workload (e.g. the workload itself is malformed).
+pub fn co_search(
+    arch: &ArchSpec,
+    workload: &Workload,
+    seed: u64,
+) -> Result<CoSearchResult, ArchError> {
+    co_search_with(arch, workload, None, &MapperConfig::default(), seed)
+}
+
+/// Co-searches one layer with explicit mapper settings and the layout the
+/// previous layer left its activations in.
+///
+/// # Errors
+/// Returns an error if no candidate (dataflow, layout) pair is valid.
+pub fn co_search_with(
+    arch: &ArchSpec,
+    workload: &Workload,
+    prev_layout: Option<&Layout>,
+    mapper: &MapperConfig,
+    seed: u64,
+) -> Result<CoSearchResult, ArchError> {
+    workload.validate()?;
+    let dataflows = search_dataflows(arch, workload, mapper);
+    let layouts = arch.layout_policy.candidates();
+
+    let mut best: Option<CoSearchResult> = None;
+    // Evaluate layout × dataflow candidates in parallel chunks.
+    let results: Vec<CoSearchResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = layouts
+            .iter()
+            .map(|layout| {
+                let dataflows = &dataflows;
+                scope.spawn(move || {
+                    let mut local_best: Option<CoSearchResult> = None;
+                    for df in dataflows {
+                        if let Ok(eval) = evaluate(arch, workload, df, layout, prev_layout, seed) {
+                            let better = local_best
+                                .as_ref()
+                                .map(|b| eval.edp < b.evaluation.edp)
+                                .unwrap_or(true);
+                            if better {
+                                local_best = Some(CoSearchResult {
+                                    dataflow: df.clone(),
+                                    layout: layout.clone(),
+                                    evaluation: eval,
+                                });
+                            }
+                        }
+                    }
+                    local_best
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().expect("co-search worker panicked"))
+            .collect()
+    });
+    for candidate in results {
+        let better = best
+            .as_ref()
+            .map(|b| candidate.evaluation.edp < b.evaluation.edp)
+            .unwrap_or(true);
+        if better {
+            best = Some(candidate);
+        }
+    }
+    best.ok_or_else(|| {
+        ArchError::InvalidDataflow(format!(
+            "no valid (dataflow, layout) pair found for layer `{}` on {}",
+            workload.name(),
+            arch.name
+        ))
+    })
+}
+
+/// Per-layer co-search over a whole network, chaining layouts: each layer's
+/// chosen layout becomes the next layer's predecessor layout, so designs
+/// without free reordering pay the conversion cost whenever the optimal layout
+/// changes between layers.
+///
+/// # Errors
+/// Propagates the first per-layer failure.
+pub fn co_search_network(
+    arch: &ArchSpec,
+    network: &Network,
+    mapper: &MapperConfig,
+    seed: u64,
+) -> Result<Vec<CoSearchResult>, ArchError> {
+    let mut results = Vec::with_capacity(network.len());
+    let mut prev_layout: Option<Layout> = None;
+    for layer in network {
+        let result = co_search_with(arch, layer, prev_layout.as_ref(), mapper, seed)?;
+        prev_layout = Some(result.layout.clone());
+        results.push(result);
+    }
+    Ok(results)
+}
+
+/// Aggregate metrics over a network co-search (geometric means, the statistics
+/// reported in Fig. 13).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSummary {
+    /// Total cycles across all layers.
+    pub total_cycles: u64,
+    /// Total energy in pJ.
+    pub total_energy_pj: f64,
+    /// Energy per MAC in pJ (total energy / total MACs).
+    pub pj_per_mac: f64,
+    /// Average steady-state utilization (MAC-weighted).
+    pub avg_utilization: f64,
+    /// Total cycles lost to bank conflicts.
+    pub total_stall_cycles: u64,
+    /// Total exposed reorder cycles.
+    pub total_reorder_cycles: u64,
+}
+
+/// Summarizes per-layer results into network-level statistics.
+pub fn summarize(network: &Network, results: &[CoSearchResult]) -> NetworkSummary {
+    let total_macs: u64 = network.iter().map(|l| l.macs()).sum();
+    let total_cycles: u64 = results.iter().map(|r| r.evaluation.cycles).sum();
+    let total_energy_pj: f64 = results.iter().map(|r| r.evaluation.energy.total_pj()).sum();
+    let total_stall_cycles: u64 = results.iter().map(|r| r.evaluation.stall_cycles).sum();
+    let total_reorder_cycles: u64 = results.iter().map(|r| r.evaluation.reorder_cycles).sum();
+    let weighted_util: f64 = results
+        .iter()
+        .zip(network.iter())
+        .map(|(r, l)| r.evaluation.utilization * l.macs() as f64)
+        .sum::<f64>()
+        / total_macs.max(1) as f64;
+    NetworkSummary {
+        total_cycles,
+        total_energy_pj,
+        pj_per_mac: total_energy_pj / total_macs.max(1) as f64,
+        avg_utilization: weighted_util,
+        total_stall_cycles,
+        total_reorder_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feather_arch::models::Network;
+    use feather_arch::workload::ConvLayer;
+
+    fn small_net() -> Network {
+        Network::new(
+            "tiny",
+            vec![
+                ConvLayer::new(1, 32, 3, 32, 32, 3, 3)
+                    .with_padding(1)
+                    .with_name("l0")
+                    .into(),
+                ConvLayer::new(1, 64, 32, 16, 16, 3, 3)
+                    .with_padding(1)
+                    .with_name("l1")
+                    .into(),
+                ConvLayer::new(1, 128, 64, 8, 8, 1, 1).with_name("l2").into(),
+            ],
+        )
+    }
+
+    #[test]
+    fn feather_cosearch_finds_concordant_pair() {
+        let arch = ArchSpec::feather_like(16, 16);
+        let layer = ConvLayer::new(1, 128, 256, 14, 14, 3, 3)
+            .with_padding(1)
+            .into();
+        let best = co_search(&arch, &layer, 0).unwrap();
+        assert!(best.evaluation.conflict_slowdown <= 1.0 + 1e-9);
+        assert!(best.evaluation.utilization > 0.9);
+    }
+
+    #[test]
+    fn feather_beats_fixed_layout_sigma_on_edp() {
+        // The whole point of the paper: arbitrary layout switching lets
+        // FEATHER pick concordant pairs that fixed-layout designs cannot.
+        let layer = ConvLayer::new(1, 64, 3, 112, 112, 7, 7)
+            .with_stride(2)
+            .with_padding(3)
+            .into();
+        let feather = ArchSpec::feather_like(16, 16);
+        let sigma = ArchSpec::sigma_like_fixed_layout(16, 16, "HWC_C32");
+        let f = co_search(&feather, &layer, 0).unwrap();
+        let s = co_search(&sigma, &layer, 0).unwrap();
+        assert!(
+            f.evaluation.edp <= s.evaluation.edp * 1.0001,
+            "feather {} vs sigma {}",
+            f.evaluation.edp,
+            s.evaluation.edp
+        );
+    }
+
+    #[test]
+    fn network_cosearch_chains_layouts() {
+        let arch = ArchSpec::feather_like(16, 16);
+        let net = small_net();
+        let results =
+            co_search_network(&arch, &net, &MapperConfig::fast(), 0).unwrap();
+        assert_eq!(results.len(), net.len());
+        let summary = summarize(&net, &results);
+        assert!(summary.total_cycles > 0);
+        assert!(summary.avg_utilization > 0.0 && summary.avg_utilization <= 1.0);
+        assert_eq!(summary.total_stall_cycles, 0);
+    }
+
+    #[test]
+    fn fixed_layout_design_never_switches() {
+        let arch = ArchSpec::nvdla_like(16, 16);
+        let net = small_net();
+        let results = co_search_network(&arch, &net, &MapperConfig::fast(), 0).unwrap();
+        let first = &results[0].layout;
+        assert!(results.iter().all(|r| &r.layout == first));
+        assert!(results.iter().all(|r| r.evaluation.reorder_cycles == 0));
+    }
+
+    #[test]
+    fn nvdla_underutilizes_on_small_channel_layers() {
+        let arch = ArchSpec::nvdla_like(16, 16);
+        let layer = ConvLayer::new(1, 64, 3, 112, 112, 7, 7)
+            .with_stride(2)
+            .with_padding(3)
+            .into();
+        let result = co_search(&arch, &layer, 0).unwrap();
+        // C = 3 across 16 columns → at most 3/16 of the array busy.
+        assert!(result.evaluation.spatial_utilization < 0.25);
+    }
+}

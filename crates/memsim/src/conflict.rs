@@ -1,0 +1,208 @@
+//! Bank-conflict slowdown assessment (§V-B of the paper).
+//!
+//! > "Layoutloop models slowdown by judging whether bank conflicts occur when
+//! > analyzing data access to the on-chip buffer with a specific layout. A
+//! > `max(NL/NP, 1)` slowdown is introduced if NL lines are accessed from a
+//! > bank with NP ports."
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use feather_arch::layout::Layout;
+use feather_arch::Dim;
+use serde::{Deserialize, Serialize};
+
+use crate::BufferSpec;
+
+/// Result of assessing one cycle's worth of concurrent accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConflictAssessment {
+    /// Number of distinct lines touched.
+    pub lines_touched: usize,
+    /// Maximum number of lines that fall into one bank.
+    pub max_lines_per_bank: usize,
+    /// Slowdown factor `max(NL/NP, 1)` — 1.0 means conflict-free.
+    pub slowdown: f64,
+}
+
+impl ConflictAssessment {
+    /// Returns `true` when the access pattern is conflict-free.
+    pub fn is_concordant(&self) -> bool {
+        self.slowdown <= 1.0 + f64::EPSILON
+    }
+}
+
+/// Bank-conflict model bound to a [`BufferSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConflictModel {
+    spec: BufferSpec,
+}
+
+impl ConflictModel {
+    /// Creates a conflict model for the given buffer.
+    pub fn new(spec: BufferSpec) -> Self {
+        ConflictModel { spec }
+    }
+
+    /// The underlying buffer specification.
+    pub fn spec(&self) -> &BufferSpec {
+        &self.spec
+    }
+
+    /// Assesses a set of lines read in the same cycle.
+    pub fn assess_reads(&self, lines: impl IntoIterator<Item = usize>) -> ConflictAssessment {
+        self.assess(lines, self.spec.read_ports)
+    }
+
+    /// Assesses a set of lines written in the same cycle.
+    pub fn assess_writes(&self, lines: impl IntoIterator<Item = usize>) -> ConflictAssessment {
+        self.assess(lines, self.spec.write_ports)
+    }
+
+    /// Read slowdown factor (`1.0` = conflict-free).
+    pub fn read_slowdown(&self, lines: impl IntoIterator<Item = usize>) -> f64 {
+        self.assess_reads(lines).slowdown
+    }
+
+    /// Write slowdown factor (`1.0` = conflict-free).
+    pub fn write_slowdown(&self, lines: impl IntoIterator<Item = usize>) -> f64 {
+        self.assess_writes(lines).slowdown
+    }
+
+    fn assess(&self, lines: impl IntoIterator<Item = usize>, ports: usize) -> ConflictAssessment {
+        let distinct: BTreeSet<usize> = lines.into_iter().collect();
+        let lines_touched = distinct.len();
+        let mut per_bank: BTreeMap<usize, usize> = BTreeMap::new();
+        for &line in &distinct {
+            // Horizontal banking: every line read engages all banks once, so
+            // the effective "bank" is the line itself (each extra line costs a
+            // full extra access of every bank).
+            let bank = self.spec.bank_of_line(line).unwrap_or(line);
+            *per_bank.entry(bank).or_insert(0) += 1;
+        }
+        let max_lines_per_bank = per_bank.values().copied().max().unwrap_or(0);
+        let slowdown = if max_lines_per_bank == 0 {
+            1.0
+        } else {
+            (max_lines_per_bank as f64 / ports.max(1) as f64).max(1.0)
+        };
+        ConflictAssessment {
+            lines_touched,
+            max_lines_per_bank,
+            slowdown,
+        }
+    }
+
+    /// Assesses the per-cycle read pattern of a dataflow under a layout: the
+    /// caller provides the concrete coordinates requested in one cycle (one
+    /// map per concurrent lane) and the stored tensor's dimension extents.
+    pub fn assess_layout_reads(
+        &self,
+        layout: &Layout,
+        coords: &[BTreeMap<Dim, usize>],
+        dim_sizes: &BTreeMap<Dim, usize>,
+    ) -> ConflictAssessment {
+        let lines = layout.lines_touched(coords.iter(), dim_sizes);
+        self.assess_reads(lines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Banking;
+
+    fn blocked_spec() -> BufferSpec {
+        BufferSpec::new(64, 8, 4, Banking::VerticalBlocked).with_ports(2, 2)
+    }
+
+    #[test]
+    fn single_line_is_concordant() {
+        let m = ConflictModel::new(blocked_spec());
+        let a = m.assess_reads([5usize]);
+        assert!(a.is_concordant());
+        assert_eq!(a.lines_touched, 1);
+    }
+
+    #[test]
+    fn duplicate_lines_count_once() {
+        let m = ConflictModel::new(blocked_spec());
+        let a = m.assess_reads([5usize, 5, 5, 5]);
+        assert_eq!(a.lines_touched, 1);
+        assert!(a.is_concordant());
+    }
+
+    #[test]
+    fn four_lines_same_bank_halves_throughput() {
+        let m = ConflictModel::new(blocked_spec());
+        // Lines 0..4 all live in bank 0 (conflict_depth = 16).
+        let a = m.assess_reads([0usize, 1, 2, 3]);
+        assert_eq!(a.max_lines_per_bank, 4);
+        assert_eq!(a.slowdown, 2.0);
+        assert!(!a.is_concordant());
+    }
+
+    #[test]
+    fn spread_across_banks_is_concordant() {
+        let m = ConflictModel::new(blocked_spec());
+        let a = m.assess_reads([0usize, 16, 32, 48]);
+        assert_eq!(a.max_lines_per_bank, 1);
+        assert!(a.is_concordant());
+    }
+
+    #[test]
+    fn three_lines_with_two_ports_fig4_m3() {
+        // Fig. 4 mapping M3: three lines per cycle with dual ports → 2/3
+        // throughput, i.e. a 1.5× slowdown.
+        let m = ConflictModel::new(blocked_spec());
+        let a = m.assess_reads([0usize, 1, 2]);
+        assert!((a.slowdown - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_port_doubles_penalty() {
+        let spec = blocked_spec().with_ports(1, 1);
+        let m = ConflictModel::new(spec);
+        let a = m.assess_reads([0usize, 1, 2, 3]);
+        assert_eq!(a.slowdown, 4.0);
+    }
+
+    #[test]
+    fn write_ports_assessed_independently() {
+        let spec = BufferSpec::new(64, 8, 4, Banking::VerticalBlocked).with_ports(2, 1);
+        let m = ConflictModel::new(spec);
+        assert_eq!(m.read_slowdown([0usize, 1]), 1.0);
+        assert_eq!(m.write_slowdown([0usize, 1]), 2.0);
+    }
+
+    #[test]
+    fn interleaved_banking_separates_adjacent_lines() {
+        let spec = BufferSpec::new(64, 8, 4, Banking::VerticalInterleaved).with_ports(2, 2);
+        let m = ConflictModel::new(spec);
+        // Adjacent lines now live in different banks.
+        assert_eq!(m.read_slowdown([0usize, 1, 2, 3]), 1.0);
+        // ... but lines 0,4,8,12 collide again.
+        assert_eq!(m.read_slowdown([0usize, 4, 8, 12]), 2.0);
+    }
+
+    #[test]
+    fn layout_level_assessment_matches_fig4() {
+        use feather_arch::layout::Layout;
+
+        // ResNet-50 layer 47-style tensor, channel-parallel reads of C0:3.
+        let dims: BTreeMap<Dim, usize> =
+            [(Dim::C, 2048), (Dim::H, 7), (Dim::W, 7)].into_iter().collect();
+        let reads: Vec<BTreeMap<Dim, usize>> = (0..4)
+            .map(|c| [(Dim::H, 0), (Dim::W, 0), (Dim::C, c)].into_iter().collect())
+            .collect();
+        let spec = BufferSpec::new(2048, 8, 1, Banking::VerticalBlocked).with_ports(2, 2);
+        let m = ConflictModel::new(spec);
+
+        let channel_last: Layout = "HWC_C8".parse().unwrap();
+        assert!(m.assess_layout_reads(&channel_last, &reads, &dims).is_concordant());
+
+        let row_major: Layout = "HCW_W8".parse().unwrap();
+        let a = m.assess_layout_reads(&row_major, &reads, &dims);
+        assert_eq!(a.slowdown, 2.0); // 4 lines / 2 ports, Fig. 4-M7.
+    }
+}

@@ -1,0 +1,111 @@
+//! Access statistics accumulated by the functional buffers.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for one buffer over the lifetime of a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AccessStats {
+    /// Number of element reads served.
+    pub element_reads: u64,
+    /// Number of element writes served.
+    pub element_writes: u64,
+    /// Number of distinct line reads (a full line counts once).
+    pub line_reads: u64,
+    /// Number of distinct line writes.
+    pub line_writes: u64,
+    /// Number of cycles in which the buffer was accessed at all.
+    pub active_cycles: u64,
+    /// Extra cycles lost to bank conflicts (reads + writes).
+    pub conflict_stall_cycles: u64,
+}
+
+impl AccessStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        AccessStats::default()
+    }
+
+    /// Merges another statistics block into this one.
+    pub fn merge(&mut self, other: &AccessStats) {
+        self.element_reads += other.element_reads;
+        self.element_writes += other.element_writes;
+        self.line_reads += other.line_reads;
+        self.line_writes += other.line_writes;
+        self.active_cycles += other.active_cycles;
+        self.conflict_stall_cycles += other.conflict_stall_cycles;
+    }
+
+    /// Total lines moved (reads + writes).
+    pub fn total_line_accesses(&self) -> u64 {
+        self.line_reads + self.line_writes
+    }
+
+    /// Fraction of active cycles lost to conflicts.
+    pub fn stall_fraction(&self) -> f64 {
+        let total = self.active_cycles + self.conflict_stall_cycles;
+        if total == 0 {
+            0.0
+        } else {
+            self.conflict_stall_cycles as f64 / total as f64
+        }
+    }
+}
+
+impl std::ops::Add for AccessStats {
+    type Output = AccessStats;
+
+    fn add(mut self, rhs: Self) -> Self::Output {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl std::iter::Sum for AccessStats {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(AccessStats::default(), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let a = AccessStats {
+            element_reads: 10,
+            line_reads: 2,
+            active_cycles: 5,
+            conflict_stall_cycles: 1,
+            ..Default::default()
+        };
+        let b = AccessStats {
+            element_writes: 4,
+            line_writes: 1,
+            active_cycles: 3,
+            ..Default::default()
+        };
+        let c = a + b;
+        assert_eq!(c.element_reads, 10);
+        assert_eq!(c.element_writes, 4);
+        assert_eq!(c.total_line_accesses(), 3);
+        assert_eq!(c.active_cycles, 8);
+        assert!((c.stall_fraction() - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_fraction_of_idle_buffer_is_zero() {
+        assert_eq!(AccessStats::default().stall_fraction(), 0.0);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let stats: AccessStats = (0..4)
+            .map(|_| AccessStats {
+                line_reads: 1,
+                ..Default::default()
+            })
+            .sum();
+        assert_eq!(stats.line_reads, 4);
+    }
+}

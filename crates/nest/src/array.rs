@@ -1,0 +1,193 @@
+//! The 2-D NEST PE array.
+
+use serde::{Deserialize, Serialize};
+
+use crate::pe::ProcessingElement;
+
+/// The values one PE row places on the per-column output buses when it fires
+/// (one locally-reduced partial sum per column).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowFire {
+    /// Index of the firing row.
+    pub row: usize,
+    /// One value per column (`None` for columns without mapped work).
+    pub values: Vec<Option<i32>>,
+}
+
+/// A functional `AH × AW` NEST array.
+///
+/// The array itself is dataflow-agnostic: the caller (the `feather` crate's
+/// controller) decides which iAct goes to which PE and which weight index it
+/// multiplies against; the array provides the PE storage, the per-column bus
+/// discipline (only one row may fire per cycle) and activity counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NestArray {
+    rows: usize,
+    cols: usize,
+    pes: Vec<ProcessingElement>,
+    fires: u64,
+}
+
+impl NestArray {
+    /// Creates an array with `rows` (AH) × `cols` (AW) PEs.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "NEST array dimensions must be non-zero");
+        NestArray {
+            rows,
+            cols,
+            pes: vec![ProcessingElement::new(); rows * cols],
+            fires: 0,
+        }
+    }
+
+    /// Number of PE rows (AH).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of PE columns (AW) — also the BIRRD width.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of PEs.
+    pub fn num_pes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Number of row fires performed so far.
+    pub fn fires(&self) -> u64 {
+        self.fires
+    }
+
+    fn index(&self, row: usize, col: usize) -> usize {
+        assert!(row < self.rows && col < self.cols, "PE ({row},{col}) out of range");
+        row * self.cols + col
+    }
+
+    /// Immutable access to one PE.
+    pub fn pe(&self, row: usize, col: usize) -> &ProcessingElement {
+        &self.pes[self.index(row, col)]
+    }
+
+    /// Mutable access to one PE.
+    pub fn pe_mut(&mut self, row: usize, col: usize) -> &mut ProcessingElement {
+        let idx = self.index(row, col);
+        &mut self.pes[idx]
+    }
+
+    /// Loads weights into the shadow registers of one PE.
+    pub fn load_weights(&mut self, row: usize, col: usize, weights: &[i8]) {
+        self.pe_mut(row, col).load_weights(weights);
+    }
+
+    /// Swaps ping/pong weight registers across the whole array (new tile).
+    pub fn swap_all_weights(&mut self) {
+        for pe in &mut self.pes {
+            pe.swap_weights();
+        }
+    }
+
+    /// Performs one Phase-1 MAC on a single PE.
+    pub fn mac(&mut self, row: usize, col: usize, iact: i8, weight_index: usize) {
+        self.pe_mut(row, col).mac(iact, weight_index);
+    }
+
+    /// Fires one row: drains the accumulators of every PE in the row onto the
+    /// column buses (Phase 2). `mapped` marks which columns actually carry
+    /// data under the current dataflow; unmapped columns yield `None`.
+    pub fn fire_row(&mut self, row: usize, mapped: &[bool]) -> RowFire {
+        assert_eq!(
+            mapped.len(),
+            self.cols,
+            "mapped mask must have one entry per column"
+        );
+        let values = (0..self.cols)
+            .map(|col| {
+                if mapped[col] {
+                    Some(self.pe_mut(row, col).fire())
+                } else {
+                    // Drain anyway so stale partial sums never leak into the
+                    // next tile, but put nothing on the bus.
+                    self.pe_mut(row, col).fire();
+                    None
+                }
+            })
+            .collect();
+        self.fires += 1;
+        RowFire { row, values }
+    }
+
+    /// Total MACs performed by all PEs.
+    pub fn total_macs(&self) -> u64 {
+        self.pes.iter().map(|pe| pe.mac_count).sum()
+    }
+
+    /// Total weight-register loads performed by all PEs.
+    pub fn total_weight_loads(&self) -> u64 {
+        self.pes.iter().map(|pe| pe.weight_loads).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_indexing() {
+        let mut arr = NestArray::new(2, 3);
+        assert_eq!(arr.num_pes(), 6);
+        arr.load_weights(1, 2, &[5]);
+        arr.swap_all_weights();
+        arr.mac(1, 2, 2, 0);
+        assert_eq!(arr.pe(1, 2).peek(), 10);
+        assert_eq!(arr.pe(0, 0).peek(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_pe_panics() {
+        let arr = NestArray::new(2, 2);
+        let _ = arr.pe(2, 0);
+    }
+
+    #[test]
+    fn fire_row_returns_column_values_and_clears() {
+        let mut arr = NestArray::new(2, 4);
+        for col in 0..4 {
+            arr.load_weights(0, col, &[1]);
+        }
+        arr.swap_all_weights();
+        for col in 0..4 {
+            arr.mac(0, col, (col + 1) as i8, 0);
+        }
+        let fire = arr.fire_row(0, &[true, true, false, true]);
+        assert_eq!(fire.row, 0);
+        assert_eq!(fire.values, vec![Some(1), Some(2), None, Some(4)]);
+        // Accumulators cleared, including the unmapped column.
+        assert_eq!(arr.pe(0, 2).peek(), 0);
+        assert_eq!(arr.fires(), 1);
+    }
+
+    #[test]
+    fn activity_counters_aggregate() {
+        let mut arr = NestArray::new(2, 2);
+        for r in 0..2 {
+            for c in 0..2 {
+                arr.load_weights(r, c, &[1, 2]);
+            }
+        }
+        arr.swap_all_weights();
+        for r in 0..2 {
+            for c in 0..2 {
+                arr.mac(r, c, 1, 0);
+                arr.mac(r, c, 1, 1);
+            }
+        }
+        assert_eq!(arr.total_macs(), 8);
+        assert_eq!(arr.total_weight_loads(), 8);
+    }
+}

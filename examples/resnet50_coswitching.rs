@@ -1,0 +1,50 @@
+//! Per-layer (dataflow, layout) co-switching over ResNet-50: runs the
+//! Layoutloop co-search for FEATHER and for a fixed-layout SIGMA-like design
+//! on a subset of ResNet-50 layers and prints the per-layer choices — showing
+//! how the optimal layout changes from layer to layer and what that buys.
+//!
+//! ```text
+//! cargo run --release -p feather-bench --example resnet50_coswitching
+//! ```
+
+use feather_arch::models::resnet50;
+use layoutloop::arch::ArchSpec;
+use layoutloop::cosearch::co_search_with;
+use layoutloop::mapper::MapperConfig;
+
+fn main() {
+    let net = resnet50();
+    // Every 6th layer keeps the example fast; use the fig13 binary for sweeps.
+    let layers: Vec<_> = net.layers.iter().step_by(6).cloned().collect();
+    let feather = ArchSpec::feather_like(16, 16);
+    let sigma = ArchSpec::sigma_like_fixed_layout(16, 16, "HWC_C32");
+    let mapper = MapperConfig::fast();
+
+    println!(
+        "{:<28} {:>12} {:>14} {:>10} | {:>12} {:>10}",
+        "layer", "FEATHER layout", "FEATHER cycles", "util", "SIGMA cycles", "util"
+    );
+    let mut prev_layout = None;
+    let mut feather_total = 0u64;
+    let mut sigma_total = 0u64;
+    for layer in &layers {
+        let f = co_search_with(&feather, layer, prev_layout.as_ref(), &mapper, 0).expect("feather");
+        let s = co_search_with(&sigma, layer, None, &mapper, 0).expect("sigma");
+        println!(
+            "{:<28} {:>12} {:>14} {:>9.0}% | {:>12} {:>9.0}%",
+            layer.name(),
+            f.layout.to_string(),
+            f.evaluation.cycles,
+            f.evaluation.utilization * 100.0,
+            s.evaluation.cycles,
+            s.evaluation.utilization * 100.0,
+        );
+        prev_layout = Some(f.layout.clone());
+        feather_total += f.evaluation.cycles;
+        sigma_total += s.evaluation.cycles;
+    }
+    println!(
+        "\ntotal cycles: FEATHER {feather_total}, SIGMA-fixed-layout {sigma_total} ({:.2}x)",
+        sigma_total as f64 / feather_total.max(1) as f64
+    );
+}

@@ -1,0 +1,79 @@
+//! Cross-crate integration: the analytic Layoutloop model and the functional
+//! FEATHER simulator must agree on the qualitative behaviour of the same
+//! (layer, dataflow, layout) choices, and the full evaluation pipeline
+//! (models → mapper → evaluator → summaries) must hold its invariants.
+
+use feather_arch::models::{mobilenet_v3, resnet50};
+use feather_arch::workload::ConvLayer;
+use feather_baselines::suite::fig13_suite;
+use layoutloop::arch::ArchSpec;
+use layoutloop::cosearch::{co_search_network, co_search_with, summarize};
+use layoutloop::mapper::MapperConfig;
+
+#[test]
+fn feather_never_loses_to_fixed_layout_designs_on_edp() {
+    // On a mix of ResNet-50-shaped layers, FEATHER's co-searched EDP is at
+    // least as good as every fixed-layout design in the Fig. 13 suite.
+    let layers = [
+        ConvLayer::new(1, 64, 3, 112, 112, 7, 7).with_stride(2).with_padding(3),
+        ConvLayer::new(1, 128, 256, 14, 14, 3, 3).with_padding(1),
+        ConvLayer::new(1, 512, 2048, 7, 7, 1, 1),
+    ];
+    let mapper = MapperConfig::fast();
+    for layer in layers {
+        let w = layer.clone().into();
+        let feather = co_search_with(&ArchSpec::feather_like(16, 16), &w, None, &mapper, 0).unwrap();
+        for entry in fig13_suite(16, 16) {
+            if entry.label == "FEATHER" {
+                continue;
+            }
+            if let Ok(base) = co_search_with(&entry.arch, &w, None, &mapper, 0) {
+                assert!(
+                    feather.evaluation.edp <= base.evaluation.edp * 1.05,
+                    "{} beats FEATHER on {layer}: {} vs {}",
+                    entry.arch.name,
+                    base.evaluation.edp,
+                    feather.evaluation.edp
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn network_level_summaries_are_consistent() {
+    // Small subsets of two real networks, full chain through the co-search.
+    for net in [resnet50(), mobilenet_v3()] {
+        let subset = feather_arch::models::Network::new(
+            format!("{}_subset", net.name),
+            net.layers.iter().step_by(12).cloned().collect(),
+        );
+        let arch = ArchSpec::feather_like(16, 16);
+        let results = co_search_network(&arch, &subset, &MapperConfig::fast(), 0).unwrap();
+        assert_eq!(results.len(), subset.len());
+        let summary = summarize(&subset, &results);
+        assert!(summary.total_cycles > 0);
+        assert!(summary.pj_per_mac > 0.0);
+        assert!(summary.avg_utilization > 0.3, "FEATHER utilization too low: {summary:?}");
+        // RIR: layout switching must never show up as reorder latency.
+        assert_eq!(summary.total_reorder_cycles, 0);
+        // Concordant layouts: no conflict stalls either.
+        assert_eq!(summary.total_stall_cycles, 0);
+    }
+}
+
+#[test]
+fn fixed_dataflow_designs_report_lower_utilization_on_shallow_layers() {
+    // The qualitative Fig. 12/13 driver: on the C=3 stem layer, fixed
+    // C-parallel designs cannot fill their arrays while FEATHER can.
+    let stem = ConvLayer::new(1, 64, 3, 224, 224, 7, 7)
+        .with_stride(2)
+        .with_padding(3)
+        .into();
+    let mapper = MapperConfig::fast();
+    let feather = co_search_with(&ArchSpec::feather_like(16, 16), &stem, None, &mapper, 0).unwrap();
+    let nvdla = co_search_with(&ArchSpec::nvdla_like(16, 16), &stem, None, &mapper, 0).unwrap();
+    assert!(feather.evaluation.utilization > 0.8);
+    assert!(nvdla.evaluation.utilization < 0.3);
+    assert!(nvdla.evaluation.cycles > feather.evaluation.cycles * 2);
+}
