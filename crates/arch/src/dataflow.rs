@@ -469,15 +469,7 @@ impl Dataflow {
     /// default reuse order).
     fn remainder_loops(workload: &Workload, spatial: &[(Dim, usize)]) -> LoopNest {
         let spatial_map: BTreeMap<Dim, usize> = spatial.iter().copied().collect();
-        let order = [
-            Dim::N,
-            Dim::M,
-            Dim::C,
-            Dim::P,
-            Dim::Q,
-            Dim::R,
-            Dim::S,
-        ];
+        let order = [Dim::N, Dim::M, Dim::C, Dim::P, Dim::Q, Dim::R, Dim::S];
         let mut loops = Vec::new();
         for dim in order {
             let total = workload.dim(dim);
@@ -516,7 +508,9 @@ mod tests {
     use crate::workload::{ConvLayer, GemmLayer};
 
     fn layer() -> Workload {
-        ConvLayer::new(1, 64, 64, 56, 56, 3, 3).with_padding(1).into()
+        ConvLayer::new(1, 64, 64, 56, 56, 3, 3)
+            .with_padding(1)
+            .into()
     }
 
     #[test]

@@ -113,7 +113,11 @@ impl Layout {
 
     /// Number of elements stored in one buffer line.
     pub fn line_size(&self) -> usize {
-        self.intraline.iter().map(|e| e.size).product::<usize>().max(1)
+        self.intraline
+            .iter()
+            .map(|e| e.size)
+            .product::<usize>()
+            .max(1)
     }
 
     /// Number of elements of `dim` packed into one line (1 if `dim` is not an
@@ -404,7 +408,13 @@ mod tests {
         let l = layout.location(&coord(&[(Dim::W, 1), (Dim::H, 0), (Dim::C, 0)]), &dims);
         assert_eq!(l, Location { line: 0, offset: 4 });
         let l = layout.location(&coord(&[(Dim::W, 3), (Dim::H, 1), (Dim::C, 1)]), &dims);
-        assert_eq!(l, Location { line: 0, offset: 15 });
+        assert_eq!(
+            l,
+            Location {
+                line: 0,
+                offset: 15
+            }
+        );
 
         // Inter-line order C → H → W (C slowest). The W-tile index varies
         // fastest: coordinate W4 lands in the next line.
@@ -461,8 +471,14 @@ mod tests {
         // somewhere (outermost across lines).
         let layout: Layout = "HWC_C4".parse().unwrap();
         let dims = sizes(&[(Dim::N, 2), (Dim::C, 4), (Dim::H, 2), (Dim::W, 2)]);
-        let a = layout.location(&coord(&[(Dim::N, 0), (Dim::H, 0), (Dim::W, 0), (Dim::C, 0)]), &dims);
-        let b = layout.location(&coord(&[(Dim::N, 1), (Dim::H, 0), (Dim::W, 0), (Dim::C, 0)]), &dims);
+        let a = layout.location(
+            &coord(&[(Dim::N, 0), (Dim::H, 0), (Dim::W, 0), (Dim::C, 0)]),
+            &dims,
+        );
+        let b = layout.location(
+            &coord(&[(Dim::N, 1), (Dim::H, 0), (Dim::W, 0), (Dim::C, 0)]),
+            &dims,
+        );
         assert_ne!(a.line, b.line);
         assert_eq!(layout.total_lines(&dims), 2 * 2 * 2);
     }
@@ -491,7 +507,8 @@ mod tests {
         for w in 0..4 {
             for h in 0..2 {
                 for c in 0..2 {
-                    let l = layout.location(&coord(&[(Dim::W, w), (Dim::H, h), (Dim::C, c)]), &dims);
+                    let l =
+                        layout.location(&coord(&[(Dim::W, w), (Dim::H, h), (Dim::C, c)]), &dims);
                     assert_eq!(l.line, 0);
                     assert!(seen.insert(l.offset));
                 }

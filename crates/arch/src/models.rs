@@ -100,7 +100,15 @@ pub fn resnet50() -> Network {
     };
 
     // conv1: 7x7/2, 64 filters on 3x224x224.
-    push(conv(format!("resnet50_l{idx:02}_conv1"), 64, 3, 224, 7, 2, 3));
+    push(conv(
+        format!("resnet50_l{idx:02}_conv1"),
+        64,
+        3,
+        224,
+        7,
+        2,
+        3,
+    ));
     idx += 1;
 
     // Bottleneck stages: (num_blocks, mid_channels, out_channels, spatial_in, stride).
@@ -277,13 +285,7 @@ pub fn bert_base() -> Network {
 }
 
 /// Parameterized BERT encoder GEMM workload.
-pub fn bert(
-    num_layers: usize,
-    seq_len: usize,
-    hidden: usize,
-    heads: usize,
-    ffn: usize,
-) -> Network {
+pub fn bert(num_layers: usize, seq_len: usize, hidden: usize, heads: usize, ffn: usize) -> Network {
     let head_dim = hidden / heads;
     let mut layers = Vec::new();
     for l in 0..num_layers {
@@ -376,7 +378,11 @@ mod tests {
         for layer in &net {
             layer.validate().unwrap();
         }
-        let dw = net.conv_layers().iter().filter(|l| l.is_depthwise()).count();
+        let dw = net
+            .conv_layers()
+            .iter()
+            .filter(|l| l.is_depthwise())
+            .count();
         assert_eq!(dw, 15);
         // MobileNet-V3-Large is ~0.22 GMACs.
         let gmacs = net.total_macs() as f64 / 1e9;

@@ -74,7 +74,9 @@ impl<T: Copy + Default> Tensor4<T> {
     /// Flat index of a coordinate.
     #[inline]
     fn index(&self, i: usize, j: usize, k: usize, l: usize) -> usize {
-        debug_assert!(i < self.shape[0] && j < self.shape[1] && k < self.shape[2] && l < self.shape[3]);
+        debug_assert!(
+            i < self.shape[0] && j < self.shape[1] && k < self.shape[2] && l < self.shape[3]
+        );
         ((i * self.shape[1] + j) * self.shape[2] + k) * self.shape[3] + l
     }
 
@@ -314,6 +316,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // 1 * 7 keeps the dot products legible
     fn gemm_matches_manual_small_case() {
         let layer = GemmLayer::new(2, 3, 2);
         let a = Tensor4::from_vec([1, 1, 2, 3], vec![1, 2, 3, 4, 5, 6]).unwrap();

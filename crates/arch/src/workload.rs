@@ -204,9 +204,7 @@ impl ConvLayer {
                 ConvKind::Depthwise => (self.c * self.r * self.s) as u64,
                 _ => (self.m * self.c * self.r * self.s) as u64,
             },
-            Operand::OActs => {
-                (self.n * self.m * self.output_height() * self.output_width()) as u64
-            }
+            Operand::OActs => (self.n * self.m * self.output_height() * self.output_width()) as u64,
         }
     }
 

@@ -152,7 +152,10 @@ mod tests {
         let f = design_breakdown(Design256::Feather).total_um2();
         let e = design_breakdown(Design256::EyerissLike).total_um2();
         let ratio = f / e;
-        assert!((1.02..1.12).contains(&ratio), "FEATHER/Eyeriss = {ratio:.3}");
+        assert!(
+            (1.02..1.12).contains(&ratio),
+            "FEATHER/Eyeriss = {ratio:.3}"
+        );
     }
 
     #[test]

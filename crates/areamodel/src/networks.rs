@@ -175,7 +175,10 @@ mod tests {
         // ≈ 4 % of the 16×16 FEATHER die (≈ 476 kµm² in Table V).
         let birrd = ReductionNetworkModel::new(ReductionNetworkKind::Birrd, 16);
         let fraction = birrd.area_um2 / 475_897.0;
-        assert!(fraction > 0.02 && fraction < 0.06, "BIRRD fraction {fraction}");
+        assert!(
+            fraction > 0.02 && fraction < 0.06,
+            "BIRRD fraction {fraction}"
+        );
     }
 
     #[test]

@@ -45,9 +45,8 @@ pub fn feather_area_power(rows: usize, cols: usize) -> AreaPower {
     let pes = (rows * cols) as f64;
     let birrd = ReductionNetworkModel::new(ReductionNetworkKind::Birrd, cols.max(2));
     let scale = (pes / 256.0).max(1.0);
-    let area_um2 = pes * PE_AREA_UM2 * scale.powf(WIRING_EXPONENT)
-        + birrd.area_um2
-        + CONTROLLER_AREA_UM2;
+    let area_um2 =
+        pes * PE_AREA_UM2 * scale.powf(WIRING_EXPONENT) + birrd.area_um2 + CONTROLLER_AREA_UM2;
     let power_mw =
         pes * PE_POWER_MW * scale.powf(POWER_EXPONENT) + birrd.power_mw + CONTROLLER_POWER_MW;
     AreaPower {

@@ -88,7 +88,8 @@ mod tests {
             .with_padding(3)
             .with_name("resnet50_conv1")
             .into();
-        let feather = normalized_throughput_per_pe(&ArchSpec::feather_like(16, 16), &layer, 0).unwrap();
+        let feather =
+            normalized_throughput_per_pe(&ArchSpec::feather_like(16, 16), &layer, 0).unwrap();
         let gemmini = normalized_throughput_per_pe(&ArchSpec::gemmini_like(), &layer, 0).unwrap();
         assert!(
             feather.throughput_per_pe > gemmini.throughput_per_pe * 2.0,
@@ -106,7 +107,12 @@ mod tests {
             .into();
         for arch in device_suite() {
             let r = normalized_throughput_per_pe(&arch, &layer, 0).unwrap();
-            assert!(r.throughput_per_pe <= 1.0 + 1e-9, "{}: {}", r.device, r.throughput_per_pe);
+            assert!(
+                r.throughput_per_pe <= 1.0 + 1e-9,
+                "{}: {}",
+                r.device,
+                r.throughput_per_pe
+            );
             assert!(r.throughput_per_pe > 0.0);
         }
     }
@@ -127,7 +133,10 @@ mod tests {
             .map(|l| normalized_throughput_per_pe(&gemmini_arch, l, 0).unwrap())
             .collect();
         let speedup = geomean_speedup(&f, &g);
-        assert!(speedup >= 1.0, "FEATHER should not lose on geomean, got {speedup}");
+        assert!(
+            speedup >= 1.0,
+            "FEATHER should not lose on geomean, got {speedup}"
+        );
     }
 
     #[test]

@@ -30,7 +30,11 @@ impl SuiteEntry {
 pub fn fig13_suite(rows: usize, cols: usize) -> Vec<SuiteEntry> {
     vec![
         SuiteEntry::new("NVDLA-like", "HWC_C32", ArchSpec::nvdla_like(rows, cols)),
-        SuiteEntry::new("Eyeriss-like", "HWC_C32", ArchSpec::eyeriss_like(rows, cols)),
+        SuiteEntry::new(
+            "Eyeriss-like",
+            "HWC_C32",
+            ArchSpec::eyeriss_like(rows, cols),
+        ),
         SuiteEntry::new(
             "SIGMA-like",
             "HWC_C32",
@@ -46,7 +50,11 @@ pub fn fig13_suite(rows: usize, cols: usize) -> Vec<SuiteEntry> {
             "off-chip reorder",
             ArchSpec::sigma_like_offchip_reorder(rows, cols),
         ),
-        SuiteEntry::new("Medusa-like", "line rotation", ArchSpec::medusa_like(rows, cols)),
+        SuiteEntry::new(
+            "Medusa-like",
+            "line rotation",
+            ArchSpec::medusa_like(rows, cols),
+        ),
         SuiteEntry::new("MTIA-like", "Transpose", ArchSpec::mtia_like(rows, cols)),
         SuiteEntry::new("TPU-like", "Trans.+Shuff.", ArchSpec::tpu_like(rows, cols)),
         SuiteEntry::new("FEATHER", "RIR", ArchSpec::feather_like(rows, cols)),

@@ -61,8 +61,7 @@ impl SystolicArray {
                 k_used * m_used * gemm.n as u64
             })
             .sum();
-        let utilization =
-            used_pe_cycles as f64 / (cycles.max(1) * self.num_pes() as u64) as f64;
+        let utilization = used_pe_cycles as f64 / (cycles.max(1) * self.num_pes() as u64) as f64;
         SystolicRun {
             cycles,
             utilization: utilization.min(1.0),

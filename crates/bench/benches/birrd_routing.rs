@@ -14,16 +14,20 @@ fn bench_routing(c: &mut Criterion) {
             .map(|g| ((g * 4..(g + 1) * 4).collect(), (width - 1) - g * 4))
             .collect();
         let request = ReductionRequest::from_groups(width, &groups).unwrap();
-        group.bench_with_input(BenchmarkId::new("grouped_reduction", width), &width, |b, _| {
-            b.iter(|| birrd.route(std::hint::black_box(&request)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("grouped_reduction", width),
+            &width,
+            |b, _| b.iter(|| birrd.route(std::hint::black_box(&request)).unwrap()),
+        );
     }
     group.finish();
 }
 
 fn bench_evaluate(c: &mut Criterion) {
     let birrd = Birrd::new(16).unwrap();
-    let groups: Vec<(Vec<usize>, usize)> = (0..4).map(|g| ((g * 4..(g + 1) * 4).collect(), g)).collect();
+    let groups: Vec<(Vec<usize>, usize)> = (0..4)
+        .map(|g| ((g * 4..(g + 1) * 4).collect(), g))
+        .collect();
     let request = ReductionRequest::from_groups(16, &groups).unwrap();
     let config = birrd.route(&request).unwrap();
     let inputs: Vec<Option<i64>> = (0..16).map(|i| Some(i as i64)).collect();

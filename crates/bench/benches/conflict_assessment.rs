@@ -20,9 +20,8 @@ fn bench_lines_touched(c: &mut Criterion) {
                 .collect()
         })
         .collect();
-    let model = ConflictModel::new(
-        BufferSpec::new(4096, 32, 1, Banking::VerticalBlocked).with_ports(2, 2),
-    );
+    let model =
+        ConflictModel::new(BufferSpec::new(4096, 32, 1, Banking::VerticalBlocked).with_ports(2, 2));
     c.bench_function("conflict_assessment_32_lanes", |b| {
         b.iter(|| {
             let lines = layout.lines_touched(coords.iter(), &dims);

@@ -17,7 +17,8 @@ fn bench_conv(c: &mut Criterion) {
     group.bench_function("conv_8x8x8_3x3_on_4x8", |b| {
         b.iter(|| {
             let mut acc = Feather::new(cfg);
-            acc.execute_conv(&layer, &mapping, &iacts, &weights).unwrap()
+            acc.execute_conv(&layer, &mapping, &iacts, &weights)
+                .unwrap()
         })
     });
     group.finish();

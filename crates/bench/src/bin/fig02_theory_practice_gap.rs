@@ -68,7 +68,10 @@ fn main() {
                 format!("{fixed}"),
                 format!("{theory_cycles}"),
                 format!("{best_practice}..{worst_practice}"),
-                format!("{:.0}x", worst_practice as f64 / theory_cycles.max(1) as f64),
+                format!(
+                    "{:.0}x",
+                    worst_practice as f64 / theory_cycles.max(1) as f64
+                ),
                 format!("{}", feather.evaluation.cycles),
             ]);
         }

@@ -4,7 +4,9 @@
 //! (ii) 100 % steady-state PE occupancy.
 
 use feather_bench::print_table;
-use feather_nest::schedule::{check_bus_contention, steady_state_utilization, walkthrough, RowPhase};
+use feather_nest::schedule::{
+    check_bus_contention, steady_state_utilization, walkthrough, RowPhase,
+};
 
 fn main() {
     // 4 rows, local temporal reduction of 4 MACs per fire (2x2 kernel over one

@@ -29,10 +29,22 @@ fn main() {
 
     // Workload shapes following Fig. 10: A regular, B/C/D skewed.
     let workloads = vec![
-        ("A (M8 K8 N4)", GemmLayer::new(8, 8, 4).with_name("workload_a")),
-        ("B (M6 K2 N8)", GemmLayer::new(6, 2, 8).with_name("workload_b")),
-        ("C (M5 K12 N3)", GemmLayer::new(5, 12, 3).with_name("workload_c")),
-        ("D (M4 K16 N1)", GemmLayer::new(4, 16, 1).with_name("workload_d")),
+        (
+            "A (M8 K8 N4)",
+            GemmLayer::new(8, 8, 4).with_name("workload_a"),
+        ),
+        (
+            "B (M6 K2 N8)",
+            GemmLayer::new(6, 2, 8).with_name("workload_b"),
+        ),
+        (
+            "C (M5 K12 N3)",
+            GemmLayer::new(5, 12, 3).with_name("workload_c"),
+        ),
+        (
+            "D (M4 K16 N1)",
+            GemmLayer::new(4, 16, 1).with_name("workload_d"),
+        ),
     ];
 
     let mut rows = Vec::new();

@@ -19,17 +19,34 @@ fn main() {
     // Channel-last (HWC_C4) in, row-major (MPQ_Q4) out — the Fig. 11 switch.
     let mapping = LayerMapping::weight_stationary(&layer, &cfg, "HWC_C4", "MPQ_Q4");
     let mut acc = Feather::new(cfg);
-    let run = acc.execute_conv(&layer, &mapping, &iacts, &weights).unwrap();
+    let run = acc
+        .execute_conv(&layer, &mapping, &iacts, &weights)
+        .unwrap();
     let golden = conv2d_reference(&layer, &iacts, &weights).unwrap();
 
     let rows = vec![
-        vec!["functional match".to_string(), format!("{}", run.oacts == golden)],
+        vec![
+            "functional match".to_string(),
+            format!("{}", run.oacts == golden),
+        ],
         vec!["iAct layout".to_string(), mapping.iact_layout.to_string()],
-        vec!["oAct layout (next layer)".to_string(), mapping.oact_layout.to_string()],
+        vec![
+            "oAct layout (next layer)".to_string(),
+            mapping.oact_layout.to_string(),
+        ],
         vec!["cycles".to_string(), run.report.cycles.to_string()],
-        vec!["bank-conflict stalls".to_string(), run.report.stall_cycles.to_string()],
-        vec!["BIRRD passes".to_string(), run.report.birrd_passes.to_string()],
-        vec!["BIRRD adder activations".to_string(), run.report.birrd_adds.to_string()],
+        vec![
+            "bank-conflict stalls".to_string(),
+            run.report.stall_cycles.to_string(),
+        ],
+        vec![
+            "BIRRD passes".to_string(),
+            run.report.birrd_passes.to_string(),
+        ],
+        vec![
+            "BIRRD adder activations".to_string(),
+            run.report.birrd_adds.to_string(),
+        ],
         vec![
             "StaB line writes (oActs)".to_string(),
             run.report.oact_stats.line_writes.to_string(),
@@ -45,5 +62,8 @@ fn main() {
         &rows,
     );
     assert_eq!(run.oacts, golden, "functional mismatch");
-    assert_eq!(run.report.stall_cycles, 0, "RIR must not introduce bank conflicts");
+    assert_eq!(
+        run.report.stall_cycles, 0,
+        "RIR must not introduce bank conflicts"
+    );
 }

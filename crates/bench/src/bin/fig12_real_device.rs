@@ -33,7 +33,10 @@ fn main() {
         .chain(devices.iter().map(|d| d.name.as_str()))
         .collect();
     print_table(
-        &format!("Fig. 12 — normalized throughput/PE over ResNet-50 ({} layers)", layers.len()),
+        &format!(
+            "Fig. 12 — normalized throughput/PE over ResNet-50 ({} layers)",
+            layers.len()
+        ),
         &header,
         &rows,
     );

@@ -44,8 +44,14 @@ fn main() {
                 format!("{:.2}x", t.cycles as f64 / feather.cycles.max(1) as f64),
                 format!("{:.2}x", t.pj_per_mac() / feather.pj_per_mac().max(1e-12)),
                 format!("{:.0}%", t.utilization * 100.0),
-                format!("{:.1}%", 100.0 * t.stall_cycles as f64 / t.cycles.max(1) as f64),
-                format!("{:.1}%", 100.0 * t.reorder_cycles as f64 / t.cycles.max(1) as f64),
+                format!(
+                    "{:.1}%",
+                    100.0 * t.stall_cycles as f64 / t.cycles.max(1) as f64
+                ),
+                format!(
+                    "{:.1}%",
+                    100.0 * t.reorder_cycles as f64 / t.cycles.max(1) as f64
+                ),
             ]);
         }
         print_table(

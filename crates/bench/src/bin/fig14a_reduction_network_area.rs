@@ -21,7 +21,14 @@ fn main() {
         .collect();
     print_table(
         "Fig. 14a — reduction network area/power scaling (TSMC 28 nm, int32 adders)",
-        &["network", "inputs", "stages", "area (um^2)", "log2(area)", "power (mW)"],
+        &[
+            "network",
+            "inputs",
+            "stages",
+            "area (um^2)",
+            "log2(area)",
+            "power (mW)",
+        ],
         &rows,
     );
 }

@@ -6,7 +6,10 @@ use feather_areamodel::breakdown::{design_breakdown, Component, Design256};
 use feather_bench::print_table;
 
 fn main() {
-    let breakdowns: Vec<_> = Design256::ALL.iter().map(|d| design_breakdown(*d)).collect();
+    let breakdowns: Vec<_> = Design256::ALL
+        .iter()
+        .map(|d| design_breakdown(*d))
+        .collect();
 
     let mut rows = Vec::new();
     for component in Component::ALL {
@@ -32,9 +35,18 @@ fn main() {
     let feather = breakdowns[2].total_um2();
     let birrd = breakdowns[2].area_of(Component::ReductionNoc);
     let ratios = vec![
-        vec!["FEATHER / Eyeriss-like".to_string(), format!("{:.2}x", feather / eyeriss)],
-        vec!["SIGMA / FEATHER".to_string(), format!("{:.2}x", sigma / feather)],
-        vec!["BIRRD share of FEATHER die".to_string(), format!("{:.1}%", 100.0 * birrd / feather)],
+        vec![
+            "FEATHER / Eyeriss-like".to_string(),
+            format!("{:.2}x", feather / eyeriss),
+        ],
+        vec![
+            "SIGMA / FEATHER".to_string(),
+            format!("{:.2}x", sigma / feather),
+        ],
+        vec![
+            "BIRRD share of FEATHER die".to_string(),
+            format!("{:.1}%", 100.0 * birrd / feather),
+        ],
         vec![
             "FEATHER Redn. NoC vs SIGMA Redn. NoC".to_string(),
             format!(
@@ -43,5 +55,9 @@ fn main() {
             ),
         ],
     ];
-    print_table("Fig. 14b — headline ratios", &["quantity", "value"], &ratios);
+    print_table(
+        "Fig. 14b — headline ratios",
+        &["quantity", "value"],
+        &ratios,
+    );
 }

@@ -27,7 +27,13 @@ fn main() {
     }
     print_table(
         "Table IV — evaluation setup",
-        &["design", "evaluation method", "#PE", "reorder support", "datatype"],
+        &[
+            "design",
+            "evaluation method",
+            "#PE",
+            "reorder support",
+            "datatype",
+        ],
         &rows,
     );
 }

@@ -15,7 +15,9 @@ use layoutloop::mapper::MapperConfig;
 /// Returns `true` when the `FEATHER_FULL` environment variable asks for the
 /// full (slow) sweep instead of the representative subset.
 pub fn full_sweep() -> bool {
-    std::env::var("FEATHER_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("FEATHER_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// A representative subset of a network's layers for quick runs: every
@@ -127,7 +129,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

@@ -244,7 +244,11 @@ mod tests {
     #[test]
     fn identity_permutation() {
         let perm: Vec<usize> = (0..8).collect();
-        let groups: Vec<(Vec<usize>, usize)> = perm.iter().enumerate().map(|(i, &d)| (vec![i], d)).collect();
+        let groups: Vec<(Vec<usize>, usize)> = perm
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (vec![i], d))
+            .collect();
         check(8, &groups, seq(8));
     }
 
@@ -288,16 +292,7 @@ mod tests {
         check(
             8,
             &[(vec![1, 2], 6), (vec![5], 0)],
-            vec![
-                None,
-                Some(10),
-                Some(20),
-                None,
-                None,
-                Some(7),
-                None,
-                None,
-            ],
+            vec![None, Some(10), Some(20), None, None, Some(7), None, None],
         );
     }
 

@@ -3,23 +3,29 @@
 //!
 //! The paper routes BIRRD with a multicast-style path-selection algorithm
 //! (Arora–Leighton–Maggs) and falls back to brute force for the rare patterns
-//! the heuristic misses (§III-B.3). We implement the same idea as a
-//! depth-first search over stage configurations with two accelerators:
+//! the heuristic misses (§III-B.3). We implement the same idea as *path
+//! packing*: signals are routed one at a time through the link graph (every
+//! inter-stage link has capacity one), depth-first with backtracking across
+//! signals, with three accelerators:
 //!
 //! * **reachability pruning** — a signal is only allowed onto a link from
 //!   which its destination output port is still reachable;
-//! * **merge-first heuristic** — when two signals of the same reduction group
-//!   meet at a switch, configurations that add them are explored first
-//!   (reduction can never hurt: it frees a link).
+//! * **merge-first heuristic** — when a signal arrives at a switch whose
+//!   other input already carries its reduction group, it merges there
+//!   unconditionally (reduction can never hurt: the merged signal continues
+//!   on the existing path and a link is freed);
+//! * **randomized restarts** — the first attempt uses the natural
+//!   deterministic order; subsequent attempts shuffle the group order and the
+//!   per-stage output preference. A fresh ordering succeeds with good
+//!   probability, so many cheap restarts beat one deep search.
 //!
-//! The search is deterministic for a given seed; randomized restarts with
-//! different tie-breaking are used before giving up.
+//! The search is deterministic for a given request: restart seeds are fixed.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
@@ -46,10 +52,7 @@ impl ReductionRequest {
     /// # Errors
     /// Returns [`RouteError::MalformedRequest`] if a port is referenced twice,
     /// a port or destination is out of range, or two groups share a destination.
-    pub fn from_groups(
-        width: usize,
-        groups: &[(Vec<usize>, usize)],
-    ) -> Result<Self, RouteError> {
+    pub fn from_groups(width: usize, groups: &[(Vec<usize>, usize)]) -> Result<Self, RouteError> {
         let mut input_groups = vec![None; width];
         let mut group_destinations = BTreeMap::new();
         let mut dests_seen = std::collections::BTreeSet::new();
@@ -97,8 +100,11 @@ impl ReductionRequest {
     /// of `0..width`.
     pub fn permutation(perm: &[usize]) -> Result<Self, RouteError> {
         let width = perm.len();
-        let groups: Vec<(Vec<usize>, usize)> =
-            perm.iter().enumerate().map(|(i, &d)| (vec![i], d)).collect();
+        let groups: Vec<(Vec<usize>, usize)> = perm
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (vec![i], d))
+            .collect();
         Self::from_groups(width, &groups)
     }
 
@@ -146,7 +152,10 @@ impl fmt::Display for RouteError {
                 "request width {request} does not match network width {network}"
             ),
             RouteError::Unroutable { explored } => {
-                write!(f, "no routing found after exploring {explored} configurations")
+                write!(
+                    f,
+                    "no routing found after exploring {explored} search nodes"
+                )
             }
         }
     }
@@ -154,16 +163,40 @@ impl fmt::Display for RouteError {
 
 impl std::error::Error for RouteError {}
 
-/// One live signal travelling through the network during routing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// One signal to be routed: a group member entering at `input`, bound for the
+/// group's destination. Only the `first` member of a group must physically
+/// reach the output port; later members terminate by merging into an
+/// already-routed same-group path.
+#[derive(Debug, Clone, Copy)]
 struct Signal {
     group: GroupId,
+    input: usize,
     dest: usize,
+    first: bool,
+    /// Per-stage output preference mask for tie-breaking (bit `s` flips the
+    /// exploration order of the two switch outputs at stage `s`).
+    order_flip: u64,
 }
+
+/// One hop of a routed path: at `stage` the signal occupied input link
+/// `in_link` and left through switch output `out_link`. A merge-terminated
+/// hop has `out_link == MERGED`.
+#[derive(Debug, Clone, Copy)]
+struct Hop {
+    stage: usize,
+    in_link: usize,
+    out_link: usize,
+}
+
+const MERGED: usize = usize::MAX;
 
 pub(crate) struct Router<'a> {
     topology: &'a Topology,
     reach: Vec<Vec<u64>>,
+    /// `occ[s][j]` = group occupying input link `j` of stage `s`.
+    occ: Vec<Vec<Option<GroupId>>>,
+    /// Hops of all fully-routed signals (rolled back on backtrack).
+    hops: Vec<Hop>,
     budget: u64,
     budget_this_restart: u64,
     explored: u64,
@@ -173,6 +206,8 @@ impl<'a> Router<'a> {
     pub(crate) fn new(topology: &'a Topology, budget: u64) -> Self {
         Router {
             reach: topology.reachability(),
+            occ: vec![vec![None; topology.width()]; topology.stages()],
+            hops: Vec::new(),
             topology,
             budget,
             budget_this_restart: budget,
@@ -193,215 +228,191 @@ impl<'a> Router<'a> {
                 request: request.width(),
             });
         }
-        let initial: Vec<Option<Signal>> = request
-            .input_groups
-            .iter()
-            .map(|g| {
-                g.map(|group| Signal {
-                    group,
-                    dest: request.group_destinations[&group],
-                })
-            })
-            .collect();
+
+        // Group members in input-port order; the first member of each group
+        // carries the reduced value all the way to the output port.
+        let mut group_members: BTreeMap<GroupId, Vec<usize>> = BTreeMap::new();
+        for (port, g) in request.input_groups.iter().enumerate() {
+            if let Some(group) = *g {
+                group_members.entry(group).or_default().push(port);
+            }
+        }
 
         // Randomized restarts: the first pass uses the natural (deterministic)
-        // option order; later passes shuffle tie-breaking. Each restart gets a
-        // small node budget so a doomed ordering is abandoned quickly — for a
-        // rearrangeably non-blocking network a fresh random ordering succeeds
-        // with good probability, so many cheap restarts beat one deep search.
-        let restarts = 512u64;
-        let per_restart = (self.budget / restarts).max(2_000);
+        // order; later passes shuffle the group order and per-stage output
+        // preferences. Each restart gets a slice of the node budget so a
+        // doomed ordering is abandoned quickly.
+        let per_restart = (self.budget / 64).max(10_000);
         let mut total_explored = 0u64;
-        for seed in 0..restarts {
+        let mut seed = 0u64;
+        while total_explored < self.budget {
             self.explored = 0;
-            self.budget_this_restart = per_restart;
+            self.budget_this_restart = per_restart.min(self.budget - total_explored);
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let mut config = vec![vec![EggConfig::Pass; width / 2]; self.topology.stages()];
-            let found = self.search(0, &initial, &mut config, seed > 0, &mut rng);
+
+            let mut group_order: Vec<GroupId> = group_members.keys().copied().collect();
+            if seed > 0 {
+                group_order.shuffle(&mut rng);
+            }
+            // Largest groups first (most constrained); stable sort keeps the
+            // shuffled order within equal sizes.
+            group_order.sort_by_key(|g| std::cmp::Reverse(group_members[g].len()));
+
+            let signals: Vec<Signal> = group_order
+                .iter()
+                .flat_map(|&group| {
+                    let dest = request.group_destinations[&group];
+                    group_members[&group]
+                        .iter()
+                        .enumerate()
+                        .map(move |(mi, &input)| Signal {
+                            group,
+                            input,
+                            dest,
+                            first: mi == 0,
+                            order_flip: 0,
+                        })
+                })
+                .map(|mut signal| {
+                    if seed > 0 {
+                        signal.order_flip = rng.next_u64();
+                    }
+                    signal
+                })
+                .collect();
+
+            for row in self.occ.iter_mut() {
+                row.iter_mut().for_each(|slot| *slot = None);
+            }
+            self.hops.clear();
+            let found = self.pack(&signals, 0);
             total_explored += self.explored;
             if found {
-                return Ok(config);
+                return Ok(self.reconstruct_config());
             }
-            if total_explored > self.budget {
-                break;
-            }
+            seed += 1;
         }
         Err(RouteError::Unroutable {
             explored: total_explored,
         })
     }
 
-    /// Depth-first search over stages. `signals` holds the live signal on each
-    /// input link of stage `stage`.
-    fn search(
-        &mut self,
-        stage: usize,
-        signals: &[Option<Signal>],
-        config: &mut [Vec<EggConfig>],
-        shuffle: bool,
-        rng: &mut ChaCha8Rng,
-    ) -> bool {
-        self.explored += 1;
-        if self.explored > self.budget_this_restart {
-            return false;
+    /// Routes `signals[idx..]`: finds a path for signal `idx`, then recurses;
+    /// exhausting signal `idx`'s paths backtracks into signal `idx - 1`.
+    fn pack(&mut self, signals: &[Signal], idx: usize) -> bool {
+        if idx == signals.len() {
+            return true;
         }
-        let width = self.topology.width();
-        if stage == self.topology.stages() {
-            // All signals have crossed the last permutation already (the
-            // recursion applies perms when moving between stages), so
-            // `signals` here are the values on the final output ports.
-            return self.check_final(signals);
+        let input = signals[idx].input;
+        self.occ[0][input] = Some(signals[idx].group);
+        let hops_before = self.hops.len();
+        if self.walk(signals, idx, 0, input) {
+            return true;
         }
-
-        // Enumerate the viable configurations of every switch in this stage.
-        let mut per_switch_options: Vec<Vec<(EggConfig, [Option<Signal>; 2])>> =
-            Vec::with_capacity(width / 2);
-        for sw in 0..width / 2 {
-            let left = signals[2 * sw];
-            let right = signals[2 * sw + 1];
-            let mut options = self.switch_options(stage, sw, left, right);
-            if options.is_empty() {
-                return false;
-            }
-            if shuffle {
-                options.shuffle(rng);
-            }
-            per_switch_options.push(options);
-        }
-
-        // Order switches by how constrained they are (fewest options first).
-        let mut order: Vec<usize> = (0..width / 2).collect();
-        order.sort_by_key(|&sw| per_switch_options[sw].len());
-
-        // Cartesian product over switch options, depth-first with early
-        // destination-conflict pruning at the stage level.
-        self.enumerate_stage(
-            stage,
-            &order,
-            0,
-            &per_switch_options,
-            &mut vec![None; width],
-            config,
-            shuffle,
-            rng,
-        )
+        self.hops.truncate(hops_before);
+        self.occ[0][input] = None;
+        false
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn enumerate_stage(
-        &mut self,
-        stage: usize,
-        order: &[usize],
-        idx: usize,
-        options: &[Vec<(EggConfig, [Option<Signal>; 2])>],
-        next_signals: &mut Vec<Option<Signal>>,
-        config: &mut [Vec<EggConfig>],
-        shuffle: bool,
-        rng: &mut ChaCha8Rng,
-    ) -> bool {
+    /// Depth-first walk of signal `idx` standing on input link `link` of
+    /// `stage`. On reaching the signal's terminal (its output port for the
+    /// first group member, a merge for the rest) the walk continues with the
+    /// next signal, so failures deeper in the packing order backtrack through
+    /// this signal's remaining path choices.
+    fn walk(&mut self, signals: &[Signal], idx: usize, stage: usize, link: usize) -> bool {
         self.explored += 1;
         if self.explored > self.budget_this_restart {
             return false;
         }
-        if idx == order.len() {
-            let snapshot = next_signals.clone();
-            return self.search(stage + 1, &snapshot, config, shuffle, rng);
+        let signal = signals[idx];
+        let stages = self.topology.stages();
+        if stage == stages {
+            // Only the first member descends to the final level, and only onto
+            // its exact destination port (checked before descending).
+            return self.pack(signals, idx + 1);
         }
-        let sw = order[idx];
-        for (cfg, outputs) in &options[sw] {
-            // Place the switch outputs onto the next level's input links via
-            // the inter-stage permutation.
-            let mut placed = Vec::with_capacity(2);
-            let mut ok = true;
-            for (k, sig) in outputs.iter().enumerate() {
-                if let Some(sig) = *sig {
-                    let link = self.topology.next_port(stage, 2 * sw + k);
-                    // Reachability check at the next level (or exact match at
-                    // the final outputs).
-                    let reachable = if stage + 1 == self.topology.stages() {
-                        link == sig.dest
-                    } else {
-                        self.reach[stage + 1][link] & (1u64 << sig.dest) != 0
-                    };
-                    if !reachable || next_signals[link].is_some() {
-                        ok = false;
-                        break;
-                    }
-                    next_signals[link] = Some(sig);
-                    placed.push(link);
-                }
+
+        // Merge-first: if the other input of this switch already carries this
+        // signal's group, add into it — the sum continues on the existing
+        // path, no further links are needed.
+        if !signal.first && self.occ[stage][link ^ 1] == Some(signal.group) {
+            self.hops.push(Hop {
+                stage,
+                in_link: link,
+                out_link: MERGED,
+            });
+            if self.pack(signals, idx + 1) {
+                return true;
             }
-            if ok {
-                config[stage][sw] = *cfg;
-                if self.enumerate_stage(
-                    stage,
-                    order,
-                    idx + 1,
-                    options,
-                    next_signals,
-                    config,
-                    shuffle,
-                    rng,
-                ) {
-                    return true;
-                }
+            self.hops.pop();
+            return false;
+        }
+
+        let sw = link / 2;
+        let flip = ((signal.order_flip >> stage) & 1) as usize;
+        for k in 0..2usize {
+            let out = 2 * sw + (k ^ flip);
+            let next = self.topology.next_port(stage, out);
+            let viable = if stage + 1 == stages {
+                signal.first && next == signal.dest
+            } else {
+                self.reach[stage + 1][next] & (1u64 << signal.dest) != 0
+                    && self.occ[stage + 1][next].is_none()
+            };
+            if !viable {
+                continue;
             }
-            for link in placed {
-                next_signals[link] = None;
+            if stage + 1 < stages {
+                self.occ[stage + 1][next] = Some(signal.group);
+            }
+            self.hops.push(Hop {
+                stage,
+                in_link: link,
+                out_link: out,
+            });
+            if self.walk(signals, idx, stage + 1, next) {
+                return true;
+            }
+            self.hops.pop();
+            if stage + 1 < stages {
+                self.occ[stage + 1][next] = None;
             }
         }
         false
     }
 
-    /// The viable configurations of one switch given its two input signals,
-    /// each paired with the signals it leaves on the switch's two outputs.
-    fn switch_options(
-        &self,
-        _stage: usize,
-        _sw: usize,
-        left: Option<Signal>,
-        right: Option<Signal>,
-    ) -> Vec<(EggConfig, [Option<Signal>; 2])> {
-        match (left, right) {
-            (None, None) => vec![(EggConfig::Pass, [None, None])],
-            (Some(l), None) => vec![
-                (EggConfig::Pass, [Some(l), None]),
-                (EggConfig::Swap, [None, Some(l)]),
-            ],
-            (None, Some(r)) => vec![
-                (EggConfig::Pass, [None, Some(r)]),
-                (EggConfig::Swap, [Some(r), None]),
-            ],
-            (Some(l), Some(r)) if l.group == r.group => {
-                // Merge-first: adding frees a link and can never block a route
-                // that keeping both signals alive would allow, because the
-                // merged signal has the same single destination.
-                vec![
-                    (EggConfig::AddLeft, [Some(l), None]),
-                    (EggConfig::AddRight, [None, Some(r)]),
-                ]
-            }
-            (Some(l), Some(r)) => vec![
-                (EggConfig::Pass, [Some(l), Some(r)]),
-                (EggConfig::Swap, [Some(r), Some(l)]),
-            ],
-        }
-    }
-
-    fn check_final(&self, outputs: &[Option<Signal>]) -> bool {
-        let mut seen_groups = std::collections::BTreeSet::new();
-        for (port, sig) in outputs.iter().enumerate() {
-            if let Some(sig) = sig {
-                if sig.dest != port {
-                    return false;
-                }
-                if !seen_groups.insert(sig.group) {
-                    // Two un-merged fragments of the same group survived.
-                    return false;
-                }
+    /// Turns the packed hops into per-stage switch configurations.
+    fn reconstruct_config(&self) -> Vec<Vec<EggConfig>> {
+        let width = self.topology.width();
+        let mut config = vec![vec![EggConfig::Pass; width / 2]; self.topology.stages()];
+        // First place all pass-through hops, then resolve merges against them.
+        for hop in self.hops.iter().filter(|h| h.out_link != MERGED) {
+            let sw = hop.in_link / 2;
+            if hop.in_link == hop.out_link {
+                config[hop.stage][sw] = EggConfig::Pass;
+            } else {
+                config[hop.stage][sw] = EggConfig::Swap;
             }
         }
-        true
+        for hop in self.hops.iter().filter(|h| h.out_link == MERGED) {
+            let sw = hop.in_link / 2;
+            // The partner path crosses this switch; the sum must continue on
+            // the partner's output side.
+            let partner_out = self
+                .hops
+                .iter()
+                .find(|h| {
+                    h.stage == hop.stage && h.in_link == (hop.in_link ^ 1) && h.out_link != MERGED
+                })
+                .map(|h| h.out_link)
+                .expect("merge hop always has a pass-through partner on the other input");
+            config[hop.stage][sw] = if partner_out == 2 * sw {
+                EggConfig::AddLeft
+            } else {
+                EggConfig::AddRight
+            };
+        }
+        config
     }
 }
 

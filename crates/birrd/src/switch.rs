@@ -10,12 +10,11 @@ pub enum EggConfig {
     Pass,
     /// Swap (`×`): left input → right output, right input → left output.
     Swap,
-    /// Add-Left (`∓`): sum of both inputs → left output; right output carries
-    /// the right input unchanged (the "secondary output inherits the input
-    /// from the same direction").
+    /// Add-Left (`∓`): sum of both inputs → left output; the right output
+    /// carries no data (both operands were consumed by the reduction).
     AddLeft,
-    /// Add-Right (`±`): sum of both inputs → right output; left output carries
-    /// the left input unchanged.
+    /// Add-Right (`±`): sum of both inputs → right output; the left output
+    /// carries no data.
     AddRight,
 }
 
@@ -90,27 +89,15 @@ mod tests {
 
     #[test]
     fn pass_and_swap() {
-        assert_eq!(
-            EggConfig::Pass.apply(Some(1), Some(2)),
-            (Some(1), Some(2))
-        );
-        assert_eq!(
-            EggConfig::Swap.apply(Some(1), Some(2)),
-            (Some(2), Some(1))
-        );
+        assert_eq!(EggConfig::Pass.apply(Some(1), Some(2)), (Some(1), Some(2)));
+        assert_eq!(EggConfig::Swap.apply(Some(1), Some(2)), (Some(2), Some(1)));
         assert_eq!(EggConfig::Swap.apply(None, Some(2)), (Some(2), None));
     }
 
     #[test]
     fn add_directions() {
-        assert_eq!(
-            EggConfig::AddLeft.apply(Some(3), Some(4)),
-            (Some(7), None)
-        );
-        assert_eq!(
-            EggConfig::AddRight.apply(Some(3), Some(4)),
-            (None, Some(7))
-        );
+        assert_eq!(EggConfig::AddLeft.apply(Some(3), Some(4)), (Some(7), None));
+        assert_eq!(EggConfig::AddRight.apply(Some(3), Some(4)), (None, Some(7)));
     }
 
     #[test]

@@ -126,16 +126,19 @@ impl Topology {
     /// For every stage, the set of final output ports reachable from each of
     /// that stage's *input* ports, as bitmasks (used for routing pruning).
     pub fn reachability(&self) -> Vec<Vec<u64>> {
-        assert!(self.width <= 64, "reachability masks support widths up to 64");
+        assert!(
+            self.width <= 64,
+            "reachability masks support widths up to 64"
+        );
         let mut reach = vec![vec![0u64; self.width]; self.stages];
         // Last stage: input j sits on switch j/2, can exit either output of
         // that switch, then crosses the final permutation.
         let last = self.stages - 1;
-        for j in 0..self.width {
+        for (j, mask) in reach[last].iter_mut().enumerate() {
             let sw = j / 2;
             let a = self.perms[last][2 * sw];
             let b = self.perms[last][2 * sw + 1];
-            reach[last][j] = (1u64 << a) | (1u64 << b);
+            *mask = (1u64 << a) | (1u64 << b);
         }
         for s in (0..last).rev() {
             for j in 0..self.width {
@@ -196,7 +199,10 @@ mod tests {
                 let mut seen = vec![false; width];
                 for &p in perm {
                     assert!(p < width);
-                    assert!(!seen[p], "permutation at stage {s} of width {width} not bijective");
+                    assert!(
+                        !seen[p],
+                        "permutation at stage {s} of width {width} not bijective"
+                    );
                     seen[p] = true;
                 }
             }
@@ -215,9 +221,9 @@ mod tests {
             } else {
                 (1u64 << width) - 1
             };
-            for j in 0..width {
+            for (j, &mask) in reach[0].iter().enumerate() {
                 assert_eq!(
-                    reach[0][j], full,
+                    mask, full,
                     "input {j} of width-{width} BIRRD cannot reach all outputs"
                 );
             }
@@ -229,8 +235,8 @@ mod tests {
         let t = Topology::new(16).unwrap();
         let reach = t.reachability();
         let last = t.stages() - 1;
-        for j in 0..16 {
-            assert_eq!(reach[last][j].count_ones(), 2);
+        for mask in &reach[last] {
+            assert_eq!(mask.count_ones(), 2);
         }
     }
 }

@@ -91,7 +91,11 @@ impl Feather {
         let q_cols = mapping.q_cols.min(cols / c_cols).max(1);
         let m_rows = mapping.m_rows;
         let m_tiles = layer.m.div_ceil(m_rows);
-        let c_tiles = if depthwise { 1 } else { layer.c.div_ceil(c_cols) };
+        let c_tiles = if depthwise {
+            1
+        } else {
+            layer.c.div_ceil(c_cols)
+        };
         let q_tiles = q_total.div_ceil(q_cols);
 
         // --- On-chip stores ------------------------------------------------
@@ -480,7 +484,9 @@ mod tests {
         let golden = conv2d_reference(&layer, &iacts, &weights).unwrap();
         let mapping = LayerMapping::weight_stationary(&layer, &cfg, iact_layout, oact_layout);
         let mut acc = Feather::new(cfg);
-        let run = acc.execute_conv(&layer, &mapping, &iacts, &weights).unwrap();
+        let run = acc
+            .execute_conv(&layer, &mapping, &iacts, &weights)
+            .unwrap();
         assert_eq!(run.oacts, golden, "functional mismatch for {layer}");
         assert!(run.report.cycles > 0);
         assert!(run.report.macs > 0);
@@ -499,7 +505,9 @@ mod tests {
     #[test]
     fn conv_matches_reference_with_stride() {
         check_conv(
-            ConvLayer::new(1, 4, 8, 8, 8, 3, 3).with_stride(2).with_padding(1),
+            ConvLayer::new(1, 4, 8, 8, 8, 3, 3)
+                .with_stride(2)
+                .with_padding(1),
             FeatherConfig::new(4, 8),
             "HWC_C8",
             "MPQ_Q8",
@@ -542,7 +550,9 @@ mod tests {
     #[test]
     fn depthwise_conv_matches_reference() {
         check_conv(
-            ConvLayer::new(1, 8, 8, 6, 6, 3, 3).with_padding(1).depthwise(),
+            ConvLayer::new(1, 8, 8, 6, 6, 3, 3)
+                .with_padding(1)
+                .depthwise(),
             FeatherConfig::new(4, 4),
             "HWC_C4",
             "MPQ_Q4",
@@ -559,7 +569,9 @@ mod tests {
         let weights = Tensor4::random([4, 4, 3, 3], 4);
         let mapping = LayerMapping::weight_stationary(&layer, &cfg, "HWC_C4", "MPQ_Q4");
         let mut acc = Feather::new(cfg);
-        let run = acc.execute_conv(&layer, &mapping, &iacts, &weights).unwrap();
+        let run = acc
+            .execute_conv(&layer, &mapping, &iacts, &weights)
+            .unwrap();
         assert_eq!(run.report.stall_cycles, 0);
         assert_eq!(
             run.oacts,
@@ -593,7 +605,9 @@ mod tests {
         let mut acc = Feather::new(cfg);
         let bad_iacts = Tensor4::random([1, 5, 6, 6], 0);
         let weights = Tensor4::random([4, 4, 3, 3], 0);
-        assert!(acc.execute_conv(&layer, &mapping, &bad_iacts, &weights).is_err());
+        assert!(acc
+            .execute_conv(&layer, &mapping, &bad_iacts, &weights)
+            .is_err());
     }
 
     #[test]
@@ -604,7 +618,9 @@ mod tests {
         let weights = Tensor4::random([8, 8, 3, 3], 4);
         let mapping = LayerMapping::weight_stationary(&layer, &cfg, "HWC_C4", "MPQ_Q4");
         let mut acc = Feather::new(cfg);
-        let run = acc.execute_conv(&layer, &mapping, &iacts, &weights).unwrap();
+        let run = acc
+            .execute_conv(&layer, &mapping, &iacts, &weights)
+            .unwrap();
         assert!(run.report.utilization > 0.0 && run.report.utilization <= 1.0);
         assert!(run.report.energy.total_pj() > 0.0);
         assert!(run.report.birrd_passes > 0);

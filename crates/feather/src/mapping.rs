@@ -44,16 +44,17 @@ impl LayerMapping {
     ) -> Self {
         let m_rows = layer.m.min(config.rows).max(1);
         let c_cols = layer.c.min(config.cols).max(1);
-        let q_cols = layer
-            .output_width()
-            .min(config.cols / c_cols)
-            .max(1);
+        let q_cols = layer.output_width().min(config.cols / c_cols).max(1);
         LayerMapping {
             m_rows,
             c_cols,
             q_cols,
-            iact_layout: iact_layout.parse().expect("iact layout string must be valid"),
-            oact_layout: oact_layout.parse().expect("oact layout string must be valid"),
+            iact_layout: iact_layout
+                .parse()
+                .expect("iact layout string must be valid"),
+            oact_layout: oact_layout
+                .parse()
+                .expect("oact layout string must be valid"),
         }
     }
 

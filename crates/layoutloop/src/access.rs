@@ -198,13 +198,13 @@ mod tests {
 
     fn conflict_model() -> ConflictModel {
         // Single bank with dual ports: any access of more than two lines stalls.
-        ConflictModel::new(
-            BufferSpec::new(4096, 8, 1, Banking::VerticalBlocked).with_ports(2, 2),
-        )
+        ConflictModel::new(BufferSpec::new(4096, 8, 1, Banking::VerticalBlocked).with_ports(2, 2))
     }
 
     fn layer47() -> Workload {
-        ConvLayer::new(1, 512, 2048, 7, 7, 3, 3).with_padding(1).into()
+        ConvLayer::new(1, 512, 2048, 7, 7, 3, 3)
+            .with_padding(1)
+            .into()
     }
 
     #[test]

@@ -187,7 +187,9 @@ mod tests {
                     .with_padding(1)
                     .with_name("l1")
                     .into(),
-                ConvLayer::new(1, 128, 64, 8, 8, 1, 1).with_name("l2").into(),
+                ConvLayer::new(1, 128, 64, 8, 8, 1, 1)
+                    .with_name("l2")
+                    .into(),
             ],
         )
     }
@@ -227,8 +229,7 @@ mod tests {
     fn network_cosearch_chains_layouts() {
         let arch = ArchSpec::feather_like(16, 16);
         let net = small_net();
-        let results =
-            co_search_network(&arch, &net, &MapperConfig::fast(), 0).unwrap();
+        let results = co_search_network(&arch, &net, &MapperConfig::fast(), 0).unwrap();
         assert_eq!(results.len(), net.len());
         let summary = summarize(&net, &results);
         assert!(summary.total_cycles > 0);

@@ -87,8 +87,14 @@ pub fn evaluate(
     let macs = workload.macs();
     let ideal_cycles = dataflow.ideal_compute_cycles(workload);
     let conflict_model = arch.conflict_model();
-    let analysis: AccessAnalysis =
-        analyze_iact_reads(workload, dataflow, layout, &conflict_model, ACCESS_SAMPLES, seed);
+    let analysis: AccessAnalysis = analyze_iact_reads(
+        workload,
+        dataflow,
+        layout,
+        &conflict_model,
+        ACCESS_SAMPLES,
+        seed,
+    );
 
     // Designs with per-PE buffering (systolic FIFOs, Eyeriss scratchpads) are
     // bandwidth-limited: stalls only appear when the aggregate line bandwidth
@@ -195,17 +201,29 @@ pub fn evaluate(
         let dram_cycles = (dram_bytes as f64 / arch.dram_bandwidth_bytes_per_cycle).ceil() as u64;
         (compute_cycles + reorder_cycles).max(dram_cycles)
     };
-    let leakage_pj =
-        arch.shape.pes() as f64 * total_cycles_pre_leak as f64 * arch.energy.leakage_pj_per_pe_cycle;
+    let leakage_pj = arch.shape.pes() as f64
+        * total_cycles_pre_leak as f64
+        * arch.energy.leakage_pj_per_pe_cycle;
 
     let energy = EnergyBreakdown {
         compute_pj,
         register_pj,
-        sram_pj: sram_pj + if matches!(arch.reorder, ReorderCapability::Transpose | ReorderCapability::TransposeRowReorder) && needs_reorder { reorder_energy_pj } else { 0.0 },
+        sram_pj: sram_pj
+            + if matches!(
+                arch.reorder,
+                ReorderCapability::Transpose | ReorderCapability::TransposeRowReorder
+            ) && needs_reorder
+            {
+                reorder_energy_pj
+            } else {
+                0.0
+            },
         dram_pj: dram_pj
             + if matches!(
                 arch.reorder,
-                ReorderCapability::OffChip { .. } | ReorderCapability::None | ReorderCapability::LineRotation
+                ReorderCapability::OffChip { .. }
+                    | ReorderCapability::None
+                    | ReorderCapability::LineRotation
             ) && needs_reorder
             {
                 reorder_energy_pj
@@ -274,7 +292,10 @@ mod tests {
         let bad: Layout = "HCW_W32".parse().unwrap();
         let e_good = evaluate(&arch, &w, &df, &good, None, 0).unwrap();
         let e_bad = evaluate(&arch, &w, &df, &bad, None, 0).unwrap();
-        assert!(e_bad.cycles > e_good.cycles, "good {e_good:?} bad {e_bad:?}");
+        assert!(
+            e_bad.cycles > e_good.cycles,
+            "good {e_good:?} bad {e_bad:?}"
+        );
         assert!(e_bad.energy.total_pj() > e_good.energy.total_pj());
         assert!(e_bad.utilization < e_good.utilization);
     }

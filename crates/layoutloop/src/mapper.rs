@@ -223,8 +223,14 @@ fn flexible_dataflows(
             let temporal = remainder_nest(workload, &all);
             let name = format!(
                 "flex-{}-rows_{}-cols",
-                rows.iter().map(|p| p.to_string()).collect::<Vec<_>>().join("x"),
-                cols.iter().map(|p| p.to_string()).collect::<Vec<_>>().join("x"),
+                rows.iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join("x"),
+                cols.iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join("x"),
             );
             let df = Dataflow::new(name, shape, rows.clone(), cols.clone(), temporal);
             if df.validate(workload).is_ok() {
@@ -266,7 +272,9 @@ mod tests {
     use feather_arch::workload::{ConvLayer, GemmLayer};
 
     fn layer() -> Workload {
-        ConvLayer::new(1, 128, 256, 14, 14, 3, 3).with_padding(1).into()
+        ConvLayer::new(1, 128, 256, 14, 14, 3, 3)
+            .with_padding(1)
+            .into()
     }
 
     #[test]

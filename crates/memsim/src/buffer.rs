@@ -66,17 +66,13 @@ impl<T: Copy> FunctionalBuffer<T> {
 
     /// Ends the current cycle, charging conflict stalls for the lines touched.
     pub fn flush_cycle(&mut self) {
-        if !self.in_cycle
-            && self.cycle_read_lines.is_empty()
-            && self.cycle_write_lines.is_empty()
-        {
+        if !self.in_cycle && self.cycle_read_lines.is_empty() && self.cycle_write_lines.is_empty() {
             return;
         }
         let model = ConflictModel::new(self.spec);
         let read = model.assess_reads(self.cycle_read_lines.iter().copied());
         let write = model.assess_writes(self.cycle_write_lines.iter().copied());
-        let touched =
-            !self.cycle_read_lines.is_empty() || !self.cycle_write_lines.is_empty();
+        let touched = !self.cycle_read_lines.is_empty() || !self.cycle_write_lines.is_empty();
         if touched {
             self.stats.active_cycles += 1;
             let slowdown = read.slowdown.max(write.slowdown);
@@ -167,9 +163,7 @@ mod tests {
     use crate::Banking;
 
     fn buf() -> FunctionalBuffer<i8> {
-        FunctionalBuffer::new(
-            BufferSpec::new(16, 4, 4, Banking::VerticalBlocked).with_ports(2, 2),
-        )
+        FunctionalBuffer::new(BufferSpec::new(16, 4, 4, Banking::VerticalBlocked).with_ports(2, 2))
     }
 
     #[test]

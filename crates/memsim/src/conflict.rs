@@ -190,16 +190,23 @@ mod tests {
         use feather_arch::layout::Layout;
 
         // ResNet-50 layer 47-style tensor, channel-parallel reads of C0:3.
-        let dims: BTreeMap<Dim, usize> =
-            [(Dim::C, 2048), (Dim::H, 7), (Dim::W, 7)].into_iter().collect();
+        let dims: BTreeMap<Dim, usize> = [(Dim::C, 2048), (Dim::H, 7), (Dim::W, 7)]
+            .into_iter()
+            .collect();
         let reads: Vec<BTreeMap<Dim, usize>> = (0..4)
-            .map(|c| [(Dim::H, 0), (Dim::W, 0), (Dim::C, c)].into_iter().collect())
+            .map(|c| {
+                [(Dim::H, 0), (Dim::W, 0), (Dim::C, c)]
+                    .into_iter()
+                    .collect()
+            })
             .collect();
         let spec = BufferSpec::new(2048, 8, 1, Banking::VerticalBlocked).with_ports(2, 2);
         let m = ConflictModel::new(spec);
 
         let channel_last: Layout = "HWC_C8".parse().unwrap();
-        assert!(m.assess_layout_reads(&channel_last, &reads, &dims).is_concordant());
+        assert!(m
+            .assess_layout_reads(&channel_last, &reads, &dims)
+            .is_concordant());
 
         let row_major: Layout = "HCW_W8".parse().unwrap();
         let a = m.assess_layout_reads(&row_major, &reads, &dims);

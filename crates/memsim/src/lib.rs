@@ -119,7 +119,9 @@ impl BufferSpec {
     /// when every bank participates in every line (horizontal organization).
     pub fn bank_of_line(&self, line: usize) -> Option<usize> {
         match self.banking {
-            Banking::VerticalBlocked => Some((line / self.conflict_depth()).min(self.num_banks - 1)),
+            Banking::VerticalBlocked => {
+                Some((line / self.conflict_depth()).min(self.num_banks - 1))
+            }
             Banking::VerticalInterleaved => Some(line % self.num_banks),
             Banking::Horizontal => None,
         }

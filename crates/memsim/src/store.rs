@@ -117,7 +117,12 @@ pub fn store_for_tensor<T: Copy>(
     dim_sizes: BTreeMap<Dim, usize>,
 ) -> LayoutStore<T> {
     let lines = layout.total_lines(&dim_sizes).max(1);
-    let spec = BufferSpec::new(lines, layout.line_size(), layout.line_size(), crate::Banking::Horizontal);
+    let spec = BufferSpec::new(
+        lines,
+        layout.line_size(),
+        layout.line_size(),
+        crate::Banking::Horizontal,
+    );
     LayoutStore::new(spec, layout, dim_sizes)
 }
 
@@ -131,7 +136,9 @@ mod tests {
     }
 
     fn dims() -> BTreeMap<Dim, usize> {
-        [(Dim::C, 8), (Dim::H, 4), (Dim::W, 4)].into_iter().collect()
+        [(Dim::C, 8), (Dim::H, 4), (Dim::W, 4)]
+            .into_iter()
+            .collect()
     }
 
     #[test]

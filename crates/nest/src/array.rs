@@ -34,7 +34,10 @@ impl NestArray {
     /// # Panics
     /// Panics if either dimension is zero.
     pub fn new(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "NEST array dimensions must be non-zero");
+        assert!(
+            rows > 0 && cols > 0,
+            "NEST array dimensions must be non-zero"
+        );
         NestArray {
             rows,
             cols,
@@ -64,7 +67,10 @@ impl NestArray {
     }
 
     fn index(&self, row: usize, col: usize) -> usize {
-        assert!(row < self.rows && col < self.cols, "PE ({row},{col}) out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "PE ({row},{col}) out of range"
+        );
         row * self.cols + col
     }
 

@@ -52,7 +52,11 @@ impl CycleSchedule {
 /// Row `r` starts its first local reduction at cycle `r` (inputs are streamed
 /// top-to-bottom, one row later per row), fires as soon as it has accumulated
 /// `local_reduction_len` MACs, and immediately starts the next reduction.
-pub fn walkthrough(rows: usize, local_reduction_len: usize, total_cycles: u64) -> Vec<CycleSchedule> {
+pub fn walkthrough(
+    rows: usize,
+    local_reduction_len: usize,
+    total_cycles: u64,
+) -> Vec<CycleSchedule> {
     let l = local_reduction_len.max(1) as u64;
     (0..total_cycles)
         .map(|cycle| {
@@ -76,7 +80,10 @@ pub fn walkthrough(rows: usize, local_reduction_len: usize, total_cycles: u64) -
                     }
                 })
                 .collect();
-            CycleSchedule { cycle, rows: phases }
+            CycleSchedule {
+                cycle,
+                rows: phases,
+            }
         })
         .collect()
 }

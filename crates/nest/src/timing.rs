@@ -46,7 +46,10 @@ pub struct TileTiming {
 impl TileTiming {
     /// Total cycles for the tile.
     pub fn total(&self) -> u64 {
-        self.warmup_cycles + self.steady_cycles + self.drain_cycles + self.exposed_weight_load_cycles
+        self.warmup_cycles
+            + self.steady_cycles
+            + self.drain_cycles
+            + self.exposed_weight_load_cycles
     }
 }
 

@@ -20,20 +20,28 @@ fn main() {
     let cfg = FeatherConfig::new(4, 8);
     let mapping = LayerMapping::weight_stationary(&gemm.as_conv(), &cfg, "HWC_C8", "MPQ_Q8");
     let mut acc = Feather::new(cfg);
-    let run = acc.execute_gemm(&gemm, &a, &b, &mapping).expect("gemm runs");
+    let run = acc
+        .execute_gemm(&gemm, &a, &b, &mapping)
+        .expect("gemm runs");
     let golden = gemm_reference(&gemm, &a, &b).expect("reference gemm");
     for m in 0..gemm.m {
         for n in 0..gemm.n {
             assert_eq!(run.oacts.get(0, m, 0, n), golden.get(0, 0, m, n));
         }
     }
-    println!("functional GEMM check: OK ({} cycles, {:.1}% utilization)\n",
-        run.report.cycles, run.report.utilization * 100.0);
+    println!(
+        "functional GEMM check: OK ({} cycles, {:.1}% utilization)\n",
+        run.report.cycles,
+        run.report.utilization * 100.0
+    );
 
     // Utilization on the Fig. 10 workload shapes: FEATHER vs systolic array.
     let sa = SystolicArray::new(4, 4);
     let feather_arch = ArchSpec::feather_like(4, 4);
-    println!("{:<16} {:>16} {:>10}", "workload", "systolic util", "FEATHER util");
+    println!(
+        "{:<16} {:>16} {:>10}",
+        "workload", "systolic util", "FEATHER util"
+    );
     for (label, g) in [
         ("A (8,8,4)", GemmLayer::new(8, 8, 4)),
         ("B (6,2,8)", GemmLayer::new(6, 2, 8)),

@@ -22,7 +22,10 @@ fn main() {
         .with_name("resnet50_conv1")
         .into();
 
-    println!("{:<14} {:>12} {:>12} {:>10} {:>14}", "layout", "cycles", "pJ/MAC", "util", "EDP (norm.)");
+    println!(
+        "{:<14} {:>12} {:>12} {:>10} {:>14}",
+        "layout", "cycles", "pJ/MAC", "util", "EDP (norm.)"
+    );
     let mut results = Vec::new();
     for layout in Layout::conv_candidates() {
         let mut arch = ArchSpec::feather_like(16, 16);
@@ -47,7 +50,6 @@ fn main() {
     }
     println!(
         "\nbest layout for this layer: {} (dataflow: {})",
-        results[0].0,
-        results[0].1.dataflow.name
+        results[0].0, results[0].1.dataflow.name
     );
 }

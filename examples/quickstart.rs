@@ -38,8 +38,14 @@ fn main() {
     println!("bank-conflict stalls: {}", run.report.stall_cycles);
     println!("MACs               : {}", run.report.macs);
     println!("MACs/cycle         : {:.2}", run.report.macs_per_cycle());
-    println!("utilization        : {:.1}%", run.report.utilization * 100.0);
+    println!(
+        "utilization        : {:.1}%",
+        run.report.utilization * 100.0
+    );
     println!("BIRRD passes       : {}", run.report.birrd_passes);
-    println!("energy             : {:.1} nJ", run.report.energy.total_pj() / 1e3);
+    println!(
+        "energy             : {:.1} nJ",
+        run.report.energy.total_pj() / 1e3
+    );
     println!("energy per MAC     : {:.2} pJ", run.report.pj_per_mac());
 }

@@ -15,14 +15,17 @@ fn feather_never_loses_to_fixed_layout_designs_on_edp() {
     // On a mix of ResNet-50-shaped layers, FEATHER's co-searched EDP is at
     // least as good as every fixed-layout design in the Fig. 13 suite.
     let layers = [
-        ConvLayer::new(1, 64, 3, 112, 112, 7, 7).with_stride(2).with_padding(3),
+        ConvLayer::new(1, 64, 3, 112, 112, 7, 7)
+            .with_stride(2)
+            .with_padding(3),
         ConvLayer::new(1, 128, 256, 14, 14, 3, 3).with_padding(1),
         ConvLayer::new(1, 512, 2048, 7, 7, 1, 1),
     ];
     let mapper = MapperConfig::fast();
     for layer in layers {
         let w = layer.clone().into();
-        let feather = co_search_with(&ArchSpec::feather_like(16, 16), &w, None, &mapper, 0).unwrap();
+        let feather =
+            co_search_with(&ArchSpec::feather_like(16, 16), &w, None, &mapper, 0).unwrap();
         for entry in fig13_suite(16, 16) {
             if entry.label == "FEATHER" {
                 continue;
@@ -54,7 +57,10 @@ fn network_level_summaries_are_consistent() {
         let summary = summarize(&subset, &results);
         assert!(summary.total_cycles > 0);
         assert!(summary.pj_per_mac > 0.0);
-        assert!(summary.avg_utilization > 0.3, "FEATHER utilization too low: {summary:?}");
+        assert!(
+            summary.avg_utilization > 0.3,
+            "FEATHER utilization too low: {summary:?}"
+        );
         // RIR: layout switching must never show up as reorder latency.
         assert_eq!(summary.total_reorder_cycles, 0);
         // Concordant layouts: no conflict stalls either.

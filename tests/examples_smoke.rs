@@ -1,0 +1,31 @@
+//! Smoke coverage for the runnable examples in `examples/`.
+//!
+//! All four examples are compiled by `cargo build --examples` (CI runs this
+//! explicitly; `cargo test` also builds them because they are targets of the
+//! `feather-suite` member). On top of the compile check, this test executes
+//! `quickstart` end-to-end through Cargo and asserts it exits successfully
+//! and prints the golden-match line.
+
+use std::process::Command;
+
+/// Runs `cargo run --example quickstart` in the workspace and checks output.
+#[test]
+fn quickstart_runs_end_to_end() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let output = Command::new(cargo)
+        .args(["run", "--quiet", "--example", "quickstart"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("failed to spawn cargo run --example quickstart");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "quickstart exited with {:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        output.status.code(),
+    );
+    assert!(
+        stdout.contains("OK (matches reference convolution)"),
+        "quickstart did not report the golden functional match\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+}

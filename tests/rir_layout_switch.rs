@@ -14,7 +14,9 @@ fn two_layer_pipeline_switches_layout_for_free() {
     let mut acc = Feather::new(cfg);
 
     // Layer 1: channel-last iActs in, row-major oActs out.
-    let layer1 = ConvLayer::new(1, 4, 4, 6, 6, 3, 3).with_padding(1).with_name("l1");
+    let layer1 = ConvLayer::new(1, 4, 4, 6, 6, 3, 3)
+        .with_padding(1)
+        .with_name("l1");
     let iacts1 = Tensor4::random([1, 4, 6, 6], 100);
     let weights1 = Tensor4::random([4, 4, 3, 3], 101);
     // Layer 2 runs a channel-parallel mapping, so layer 1 is told (by the
@@ -24,10 +26,15 @@ fn two_layer_pipeline_switches_layout_for_free() {
     // choice is the co-switching the paper describes, and RIR performs it
     // inside the reduction at no cost.
     let mapping1 = LayerMapping::weight_stationary(&layer1, &cfg, "HWC_C4", "PQM_M4");
-    let run1 = acc.execute_conv(&layer1, &mapping1, &iacts1, &weights1).unwrap();
+    let run1 = acc
+        .execute_conv(&layer1, &mapping1, &iacts1, &weights1)
+        .unwrap();
     let golden1 = conv2d_reference(&layer1, &iacts1, &weights1).unwrap();
     assert_eq!(run1.oacts, golden1);
-    assert_eq!(run1.report.stall_cycles, 0, "RIR must not introduce conflicts");
+    assert_eq!(
+        run1.report.stall_cycles, 0,
+        "RIR must not introduce conflicts"
+    );
 
     // Quantize layer 1's outputs back to INT8 — they become layer 2's iActs.
     let q1 = quantize_to_i8(&run1.oacts, 6, 0);
@@ -44,7 +51,9 @@ fn two_layer_pipeline_switches_layout_for_free() {
     let layer2 = ConvLayer::new(1, 4, 4, 6, 6, 1, 1).with_name("l2");
     let weights2 = Tensor4::random([4, 4, 1, 1], 102);
     let mapping2 = LayerMapping::weight_stationary(&layer2, &cfg, "HWC_C4", "MPQ_Q4");
-    let run2 = acc.execute_conv(&layer2, &mapping2, &iacts2, &weights2).unwrap();
+    let run2 = acc
+        .execute_conv(&layer2, &mapping2, &iacts2, &weights2)
+        .unwrap();
     let golden2 = conv2d_reference(&layer2, &iacts2, &weights2).unwrap();
     assert_eq!(run2.oacts, golden2);
     assert_eq!(run2.report.stall_cycles, 0);
@@ -62,7 +71,9 @@ fn rar_style_extra_pass_never_needed() {
     for oact_layout in ["MPQ_Q4", "MPQ_M4", "PQM_M4", "MPQ_P2Q2"] {
         let mapping = LayerMapping::weight_stationary(&layer, &cfg, "HWC_C4", oact_layout);
         let mut acc = Feather::new(cfg);
-        let run = acc.execute_conv(&layer, &mapping, &iacts, &weights).unwrap();
+        let run = acc
+            .execute_conv(&layer, &mapping, &iacts, &weights)
+            .unwrap();
         assert_eq!(
             run.oacts,
             conv2d_reference(&layer, &iacts, &weights).unwrap(),
@@ -71,7 +82,8 @@ fn rar_style_extra_pass_never_needed() {
         // One pass per (row fire with live outputs): fires = M tiles... every
         // fire carries exactly one output group here (q_cols = 1).
         assert_eq!(
-            run.report.birrd_passes, 4 * 5 * 5,
+            run.report.birrd_passes,
+            4 * 5 * 5,
             "unexpected extra BIRRD passes for {oact_layout}"
         );
     }

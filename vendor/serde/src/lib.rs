@@ -1,0 +1,27 @@
+//! Vendored shim for `serde`: marker traits plus the re-exported no-op
+//! derive macros. Every type trivially satisfies both traits via blanket
+//! impls, so `#[derive(Serialize, Deserialize)]` (whose shim expansion is
+//! empty) leaves types usable wherever a `T: Serialize` bound appears.
+
+#![warn(missing_docs)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Deserialization helpers namespace (bound aliases only).
+pub mod de {
+    pub use crate::DeserializeOwned;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! Vendored shim for `serde_derive`: the derive macros accept the same
+//! attribute grammar as the real crate but expand to nothing. The workspace
+//! only *derives* the traits today; marker impls are provided by blanket
+//! impls in the `serde` shim, so an empty expansion is sufficient.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
