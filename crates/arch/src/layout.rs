@@ -243,6 +243,38 @@ impl Layout {
             .collect()
     }
 
+    /// Returns a copy of the layout with every dimension replaced by
+    /// `f(dim)`, preserving order and intra-line sizes.
+    ///
+    /// This is how a layout is moved between tensor vocabularies: the same
+    /// physical arrangement, described over different logical dimensions.
+    pub fn rename_dims(&self, f: impl Fn(Dim) -> Dim) -> Layout {
+        Layout {
+            interline: self.interline.iter().map(|&d| f(d)).collect(),
+            intraline: self
+                .intraline
+                .iter()
+                .map(|e| IntraDim::new(f(e.dim), e.size))
+                .collect(),
+        }
+    }
+
+    /// Translates an iAct-vocabulary layout (`C`, `H`, `W`) into the
+    /// oAct-vocabulary layout (`M`, `P`, `Q`) the *previous* layer must write
+    /// so that this layer finds its inputs already arranged this way: the
+    /// producer's output channels `M` are the consumer's input channels `C`,
+    /// and the output pixels `P`/`Q` are the consumer's `H`/`W`.
+    ///
+    /// This is the layout RIR targets at a pipeline boundary (§III-C).
+    pub fn as_producer_oact_layout(&self) -> Layout {
+        self.rename_dims(|d| match d {
+            Dim::C => Dim::M,
+            Dim::H => Dim::P,
+            Dim::W => Dim::Q,
+            other => other,
+        })
+    }
+
     /// PyTorch-style channel-last layout with `c_per_line` channels per line.
     pub fn channels_last(c_per_line: usize) -> Layout {
         Layout::new([Dim::H, Dim::W, Dim::C], [(Dim::C, c_per_line)])
@@ -496,6 +528,39 @@ mod tests {
     fn helper_constructors() {
         assert_eq!(Layout::channels_last(32).to_string(), "HWC_C32");
         assert_eq!(Layout::row_major(8).to_string(), "HCW_W8");
+    }
+
+    #[test]
+    fn rename_to_oact_vocabulary() {
+        // The Fig. 11 boundary: a consumer reading channel-last `HWC_C4`
+        // requires its producer to emit `PQM_M4`.
+        let iact: Layout = "HWC_C4".parse().unwrap();
+        assert_eq!(iact.as_producer_oact_layout().to_string(), "PQM_M4");
+        // Renaming preserves intra-line sizes and line geometry.
+        let mixed: Layout = "HWC_C4W8".parse().unwrap();
+        let oact = mixed.as_producer_oact_layout();
+        assert_eq!(oact.to_string(), "PQM_M4Q8");
+        assert_eq!(oact.line_size(), mixed.line_size());
+    }
+
+    #[test]
+    fn renamed_layout_maps_to_same_locations() {
+        // A coordinate and its renamed twin land on the same (line, offset):
+        // the physical arrangement is vocabulary-independent.
+        let iact: Layout = "HWC_C4W2".parse().unwrap();
+        let oact = iact.as_producer_oact_layout();
+        let idims = sizes(&[(Dim::C, 8), (Dim::H, 4), (Dim::W, 4)]);
+        let odims = sizes(&[(Dim::M, 8), (Dim::P, 4), (Dim::Q, 4)]);
+        for c in 0..8 {
+            for h in 0..4 {
+                for w in 0..4 {
+                    let a = iact.location(&coord(&[(Dim::C, c), (Dim::H, h), (Dim::W, w)]), &idims);
+                    let b = oact.location(&coord(&[(Dim::M, c), (Dim::P, h), (Dim::Q, w)]), &odims);
+                    assert_eq!(a, b, "C{c} H{h} W{w}");
+                }
+            }
+        }
+        assert_eq!(iact.total_lines(&idims), oact.total_lines(&odims));
     }
 
     #[test]

@@ -51,6 +51,50 @@ impl<T: Copy + Default> Tensor4<T> {
         Ok(Tensor4 { shape, data })
     }
 
+    /// Builds a tensor by evaluating `f` at every coordinate, iterated in
+    /// row-major order. This is the bulk-copy/repack primitive: lowering a
+    /// matrix into the convolution operand shapes, staging a tile, or any
+    /// other element-wise rearrangement is one `from_fn` call instead of a
+    /// hand-rolled quadruple loop.
+    pub fn from_fn(shape: [usize; 4], mut f: impl FnMut(usize, usize, usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(shape.iter().product());
+        for i in 0..shape[0] {
+            for j in 0..shape[1] {
+                for k in 0..shape[2] {
+                    for l in 0..shape[3] {
+                        data.push(f(i, j, k, l));
+                    }
+                }
+            }
+        }
+        Tensor4 { shape, data }
+    }
+
+    /// Visits every element in row-major order with its coordinate.
+    pub fn for_each(&self, mut f: impl FnMut([usize; 4], T)) {
+        let mut flat = 0usize;
+        for i in 0..self.shape[0] {
+            for j in 0..self.shape[1] {
+                for k in 0..self.shape[2] {
+                    for l in 0..self.shape[3] {
+                        f([i, j, k, l], self.data[flat]);
+                        flat += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reinterprets the tensor under a new shape with the same element count
+    /// (row-major order preserved) — e.g. viewing `(N, M, P, Q)` oActs as the
+    /// next layer's `(N, C, H, W)` iActs.
+    ///
+    /// # Errors
+    /// Returns [`ArchError::ShapeMismatch`] if the element counts differ.
+    pub fn with_shape(self, shape: [usize; 4]) -> Result<Self, ArchError> {
+        Tensor4::from_vec(shape, self.data)
+    }
+
     /// The tensor shape.
     pub fn shape(&self) -> [usize; 4] {
         self.shape
@@ -219,6 +263,15 @@ pub fn gemm_reference(
     Ok(out)
 }
 
+/// Quantizes one INT32 accumulator to INT8 with a power-of-two scale and zero
+/// point — the element-wise operation of FEATHER's quantization module
+/// (§III-C.4), shared by [`quantize_to_i8`] and the pipeline session's
+/// boundary requantization.
+pub fn quantize_value(v: i32, scale_shift: u32, zero_point: i8) -> i8 {
+    let scaled = v >> scale_shift;
+    (scaled + zero_point as i32).clamp(i8::MIN as i32, i8::MAX as i32) as i8
+}
+
 /// Quantizes an INT32 accumulator tensor back to INT8 with a power-of-two
 /// scale and zero point, mirroring FEATHER's quantization module (§III-C.4).
 pub fn quantize_to_i8(acc: &Tensor4<i32>, scale_shift: u32, zero_point: i8) -> Tensor4<i8> {
@@ -226,10 +279,7 @@ pub fn quantize_to_i8(acc: &Tensor4<i32>, scale_shift: u32, zero_point: i8) -> T
     let data = acc
         .as_slice()
         .iter()
-        .map(|&v| {
-            let scaled = v >> scale_shift;
-            (scaled + zero_point as i32).clamp(i8::MIN as i32, i8::MAX as i32) as i8
-        })
+        .map(|&v| quantize_value(v, scale_shift, zero_point))
         .collect();
     Tensor4 { shape, data }
 }
@@ -251,6 +301,31 @@ mod tests {
     fn from_vec_checks_length() {
         assert!(Tensor4::from_vec([1, 1, 2, 2], vec![0i8; 4]).is_ok());
         assert!(Tensor4::from_vec([1, 1, 2, 2], vec![0i8; 5]).is_err());
+    }
+
+    #[test]
+    fn from_fn_and_for_each_agree_on_order() {
+        let t = Tensor4::<i32>::from_fn([2, 3, 2, 2], |i, j, k, l| {
+            (((i * 3 + j) * 2 + k) * 2 + l) as i32
+        });
+        // from_fn fills row-major, so the data is 0..len in order.
+        assert_eq!(t.as_slice(), (0..24).collect::<Vec<i32>>().as_slice());
+        let mut visited = 0i32;
+        t.for_each(|[i, j, k, l], v| {
+            assert_eq!(v, visited);
+            assert_eq!(t.get(i, j, k, l), v);
+            visited += 1;
+        });
+        assert_eq!(visited, 24);
+    }
+
+    #[test]
+    fn with_shape_reinterprets_row_major() {
+        let t = Tensor4::<i8>::random([1, 4, 2, 3], 5);
+        let flat = t.as_slice().to_vec();
+        let r = t.with_shape([1, 2, 4, 3]).unwrap();
+        assert_eq!(r.as_slice(), flat.as_slice());
+        assert!(r.with_shape([1, 2, 4, 4]).is_err());
     }
 
     #[test]

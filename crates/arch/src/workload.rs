@@ -217,6 +217,48 @@ impl ConvLayer {
     pub fn is_depthwise(&self) -> bool {
         self.kind == ConvKind::Depthwise
     }
+
+    /// iAct tensor extents as a dimension map: `(N, C, H, W)`.
+    pub fn iact_dim_sizes(&self) -> BTreeMap<Dim, usize> {
+        [
+            (Dim::N, self.n),
+            (Dim::C, self.c),
+            (Dim::H, self.h),
+            (Dim::W, self.w),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    /// oAct tensor extents as a dimension map: `(N, M, P, Q)`.
+    pub fn oact_dim_sizes(&self) -> BTreeMap<Dim, usize> {
+        [
+            (Dim::N, self.n),
+            (Dim::M, self.m),
+            (Dim::P, self.output_height()),
+            (Dim::Q, self.output_width()),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    /// Returns `true` if this layer's output tensor is exactly the input
+    /// tensor of `next`: same batch, output channels match input channels, and
+    /// the output spatial extents match the next input extents. Consecutive
+    /// layers satisfying this can execute back-to-back on FEATHER's ping/pong
+    /// StaB without any off-chip round trip.
+    pub fn chains_into(&self, next: &ConvLayer) -> bool {
+        self.n == next.n
+            && self.m == next.c
+            && self.output_height() == next.h
+            && self.output_width() == next.w
+    }
+
+    /// Returns a copy of the layer with the batch size replaced.
+    pub fn with_batch(mut self, n: usize) -> Self {
+        self.n = n;
+        self
+    }
 }
 
 impl fmt::Display for ConvLayer {
@@ -503,6 +545,35 @@ mod tests {
         assert!(bad.validate().is_err());
         let good = ConvLayer::new(1, 32, 32, 8, 8, 3, 3).depthwise();
         good.validate().unwrap();
+    }
+
+    #[test]
+    fn chains_into_checks_shape_compatibility() {
+        let l1 = ConvLayer::new(1, 64, 3, 56, 56, 3, 3).with_padding(1);
+        let l2 = ConvLayer::new(1, 128, 64, 56, 56, 1, 1);
+        assert!(l1.chains_into(&l2));
+        // Channel mismatch.
+        assert!(!l2.chains_into(&l1));
+        // Spatial mismatch (stride halves the map).
+        let strided = ConvLayer::new(1, 64, 3, 56, 56, 3, 3)
+            .with_stride(2)
+            .with_padding(1);
+        assert!(!strided.chains_into(&l2));
+        let down = ConvLayer::new(1, 128, 64, 28, 28, 1, 1);
+        assert!(strided.chains_into(&down));
+        // Batch mismatch.
+        assert!(!l1.chains_into(&l2.clone().with_batch(2)));
+    }
+
+    #[test]
+    fn operand_dim_size_maps() {
+        let l = ConvLayer::new(2, 16, 8, 10, 10, 3, 3).with_padding(1);
+        let i = l.iact_dim_sizes();
+        assert_eq!(i[&Dim::N], 2);
+        assert_eq!(i[&Dim::C], 8);
+        let o = l.oact_dim_sizes();
+        assert_eq!(o[&Dim::M], 16);
+        assert_eq!(o[&Dim::P], 10);
     }
 
     #[test]

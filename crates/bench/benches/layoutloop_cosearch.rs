@@ -1,11 +1,13 @@
 //! Criterion bench: Layoutloop evaluation and (dataflow, layout) co-search
-//! throughput on a representative ResNet-50 layer.
+//! throughput on a representative ResNet-50 layer, plus the memoized
+//! whole-network planner (`plan_network`) with its cache-hit rate.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use feather_arch::dataflow::Dataflow;
 use feather_arch::workload::{ConvLayer, Workload};
 use layoutloop::arch::ArchSpec;
-use layoutloop::cosearch::co_search_with;
+use layoutloop::cache::CoSearchCache;
+use layoutloop::cosearch::{co_search_with, plan_network};
 use layoutloop::evaluate::evaluate;
 use layoutloop::mapper::MapperConfig;
 
@@ -38,5 +40,44 @@ fn bench_cosearch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_evaluate, bench_cosearch);
+fn bench_plan_network_memoized(c: &mut Criterion) {
+    // A ResNet-50 subset with heavy shape repetition: the cold plan pays the
+    // unique searches, the warm plan is pure cache lookups. The hit counts
+    // are printed so the memoization payoff is visible next to the timings.
+    let net = feather_arch::models::resnet50();
+    let subset = feather_arch::models::Network::new(
+        "resnet50_subset",
+        net.layers.iter().step_by(6).cloned().collect(),
+    );
+    let arch = ArchSpec::feather_like(16, 16);
+    let mapper = MapperConfig::fast();
+
+    let mut reporting_cache = CoSearchCache::new();
+    let cold = plan_network(&arch, &subset, &mapper, 0, &mut reporting_cache).unwrap();
+    let warm = plan_network(&arch, &subset, &mapper, 0, &mut reporting_cache).unwrap();
+    println!(
+        "plan_network({}): cold {} misses / {} hits, warm {} misses / {} hits",
+        subset.name, cold.cache_misses, cold.cache_hits, warm.cache_misses, warm.cache_hits
+    );
+
+    let mut group = c.benchmark_group("plan_network");
+    group.sample_size(10);
+    group.bench_function("cold_cache", |b| {
+        b.iter(|| {
+            let mut cache = CoSearchCache::new();
+            plan_network(&arch, &subset, &mapper, 0, &mut cache).unwrap()
+        })
+    });
+    group.bench_function("warm_cache", |b| {
+        b.iter(|| plan_network(&arch, &subset, &mapper, 0, &mut reporting_cache).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_evaluate,
+    bench_cosearch,
+    bench_plan_network_memoized
+);
 criterion_main!(benches);

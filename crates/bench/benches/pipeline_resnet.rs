@@ -1,0 +1,77 @@
+//! Criterion bench: the network-level pipeline executor on a (scaled-down)
+//! ResNet-50 bottleneck chain, against the layer-at-a-time baseline it
+//! replaces. The pipeline avoids the intermediate DRAM staging and the
+//! repeated cold weight-load exposure, so it should never be slower.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use feather::{FeatherConfig, NetworkSession};
+use feather_arch::tensor::Tensor4;
+use feather_arch::workload::ConvLayer;
+
+/// A 1x1 → 3x3 → 1x1 bottleneck main path with ResNet-50 stage-0 channel
+/// ratios, scaled down so one iteration stays in the microsecond range.
+fn bottleneck_chain() -> Vec<ConvLayer> {
+    vec![
+        ConvLayer::new(1, 4, 16, 7, 7, 1, 1).with_name("bneck_1x1a"),
+        ConvLayer::new(1, 4, 4, 7, 7, 3, 3)
+            .with_padding(1)
+            .with_name("bneck_3x3"),
+        ConvLayer::new(1, 16, 4, 7, 7, 1, 1).with_name("bneck_1x1b"),
+    ]
+}
+
+fn operands(layers: &[ConvLayer]) -> (Tensor4<i8>, Vec<Tensor4<i8>>) {
+    let iacts = Tensor4::random([1, layers[0].c, layers[0].h, layers[0].w], 7);
+    let weights = layers
+        .iter()
+        .enumerate()
+        .map(|(i, l)| Tensor4::random([l.m, l.c, l.r, l.s], 8 + i as u64))
+        .collect();
+    (iacts, weights)
+}
+
+fn session(layers: &[ConvLayer]) -> NetworkSession {
+    NetworkSession::weight_stationary(
+        FeatherConfig::new(8, 16),
+        layers,
+        &["HWC_C16", "HWC_C4W4", "HWC_C4W4"],
+        "MPQ_Q16",
+    )
+    .expect("bottleneck chain maps onto FEATHER")
+}
+
+fn bench_pipeline_resnet(c: &mut Criterion) {
+    let layers = bottleneck_chain();
+    let (iacts, weights) = operands(&layers);
+
+    let mut group = c.benchmark_group("pipeline_resnet");
+    group.sample_size(10);
+    group.bench_function("network_session", |b| {
+        let s = session(&layers);
+        b.iter(|| s.run(&iacts, &weights).unwrap())
+    });
+    group.bench_function("layer_at_a_time", |b| {
+        let s = session(&layers);
+        b.iter(|| s.run_layer_at_a_time(&iacts, &weights).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_pipeline_batched(c: &mut Criterion) {
+    // Batch 4 through the same chain: the staged weights serve every sample.
+    let layers = bottleneck_chain();
+    let base = session(&layers);
+    let batched = base.with_batch(4).expect("batching preserves the chain");
+    let iacts = Tensor4::random([4, layers[0].c, layers[0].h, layers[0].w], 7);
+    let (_, weights) = operands(&layers);
+
+    let mut group = c.benchmark_group("pipeline_resnet");
+    group.sample_size(10);
+    group.bench_function("network_session_batch4", |b| {
+        b.iter(|| batched.run(&iacts, &weights).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_resnet, bench_pipeline_batched);
+criterion_main!(benches);

@@ -317,6 +317,64 @@ mod tests {
         check(16, &groups, seq(16));
     }
 
+    /// Deterministic Fisher–Yates driven by a pinned LCG seed, so the routed
+    /// permutation below is reproducible forever (regression guard for the
+    /// pipeline path and the ROADMAP "wider BIRRD routing" item).
+    fn pinned_permutation(width: usize, mut seed: u64) -> Vec<usize> {
+        let mut perm: Vec<usize> = (0..width).collect();
+        for i in (1..perm.len()).rev() {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            perm.swap(i, (seed as usize) % (i + 1));
+        }
+        perm
+    }
+
+    /// Seed for the pinned routed permutations; changing it invalidates the
+    /// regression baseline, so don't.
+    const PIPELINE_PERM_SEED: u64 = 0xFEA7_2024;
+
+    #[test]
+    fn pipeline_16_wide_permutation_routes_deterministically() {
+        // The 16-wide array is what the pipeline executor and the paper's
+        // evaluation use. This pinned permutation must stay routable, and the
+        // router must return the same configuration every time (restart seeds
+        // are fixed), otherwise cycle/energy baselines silently drift.
+        let perm = pinned_permutation(16, PIPELINE_PERM_SEED);
+        let birrd = Birrd::new(16).unwrap();
+        let request = ReductionRequest::permutation(&perm).unwrap();
+        let config = birrd.route(&request).expect("pinned permutation routable");
+        assert_eq!(
+            birrd.route(&request).unwrap(),
+            config,
+            "routing not deterministic"
+        );
+        let outputs = birrd.evaluate(&config, &seq(16)).unwrap();
+        for (i, &dest) in perm.iter().enumerate() {
+            assert_eq!(outputs[dest], Some((i + 1) as i64));
+        }
+    }
+
+    #[test]
+    #[ignore = "width-32 routing still degrades under restart-based path packing; \
+                current budget: 2_000_000 search nodes (Birrd::new default). This is \
+                the measurable target for the ROADMAP 'wider BIRRD routing' item — \
+                un-ignore once an exact Algorithm-1 decomposition or conflict-directed \
+                backjumping lands."]
+    fn width_32_pinned_permutation_smoke() {
+        let perm = pinned_permutation(32, PIPELINE_PERM_SEED);
+        let birrd = Birrd::new(32).unwrap();
+        let request = ReductionRequest::permutation(&perm).unwrap();
+        let config = birrd
+            .route(&request)
+            .expect("32-wide pinned permutation within the 2M-node default budget");
+        let outputs = birrd.evaluate(&config, &seq(32)).unwrap();
+        for (i, &dest) in perm.iter().enumerate() {
+            assert_eq!(outputs[dest], Some((i + 1) as i64));
+        }
+    }
+
     #[test]
     fn rejects_width_mismatch() {
         let birrd = Birrd::new(8).unwrap();

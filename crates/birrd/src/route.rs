@@ -38,7 +38,11 @@ pub type GroupId = usize;
 /// A reduction-reorder request: for each input port, which group it belongs to
 /// (or `None` if the port carries no data), and for each group, the output
 /// port its reduced value must reach.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The request is totally ordered so it can key route-memoization maps: the
+/// controller issues the same handful of reduce-reorder patterns millions of
+/// times per layer, and routing is deterministic per request.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ReductionRequest {
     /// Group membership per input port (`None` = no data on that port).
     pub input_groups: Vec<Option<GroupId>>,

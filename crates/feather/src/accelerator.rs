@@ -2,19 +2,17 @@
 
 use std::collections::BTreeMap;
 
-use feather_arch::dims::{Dim, Operand};
-use feather_arch::energy::{EnergyBreakdown, EnergyModel};
 use feather_arch::tensor::Tensor4;
 use feather_arch::workload::{ConvLayer, GemmLayer};
-use feather_arch::{ArchError, DataType};
-use feather_birrd::{Birrd, ReductionRequest};
-use feather_memsim::store::LayoutStore;
-use feather_memsim::{Banking, BufferSpec};
+use feather_arch::ArchError;
+use feather_birrd::{Birrd, NetworkConfig, ReductionRequest};
+use feather_memsim::LayoutView;
 use feather_nest::{NestArray, NestTiming};
 
 use crate::config::FeatherConfig;
 use crate::mapping::LayerMapping;
-use crate::report::{LayerRun, RunReport};
+use crate::report::LayerRun;
+use crate::session::NetworkSession;
 
 /// A FEATHER accelerator instance.
 ///
@@ -22,17 +20,13 @@ use crate::report::{LayerRun, RunReport};
 #[derive(Debug, Clone)]
 pub struct Feather {
     config: FeatherConfig,
-    energy_model: EnergyModel,
 }
 
 impl Feather {
     /// Creates an accelerator with the given hardware configuration and the
     /// default TSMC-28 energy model.
     pub fn new(config: FeatherConfig) -> Self {
-        Feather {
-            config,
-            energy_model: EnergyModel::tsmc28(),
-        }
+        Feather { config }
     }
 
     /// The hardware configuration.
@@ -46,6 +40,10 @@ impl Feather {
     /// `mapping.iact_layout`; output activations are written to the other half
     /// in `mapping.oact_layout` during BIRRD reduction (RIR).
     ///
+    /// This is a one-layer [`NetworkSession`]: the same staging, tile loop and
+    /// accounting as the multi-layer pipeline, with the single layer paying
+    /// both the iAct staging and the oAct drain DRAM traffic.
+    ///
     /// # Errors
     /// Returns an error if the mapping is invalid for the layer/hardware, the
     /// operand shapes are wrong, or BIRRD cannot route a required
@@ -57,369 +55,19 @@ impl Feather {
         iacts: &Tensor4<i8>,
         weights: &Tensor4<i8>,
     ) -> Result<LayerRun, ArchError> {
-        layer.validate()?;
-        mapping.validate(layer, &self.config)?;
-        let expected_iacts = [layer.n, layer.c, layer.h, layer.w];
-        if iacts.shape() != expected_iacts {
-            return Err(ArchError::ShapeMismatch(format!(
-                "iacts shape {:?}, expected {:?}",
-                iacts.shape(),
-                expected_iacts
-            )));
-        }
-        let expected_weights = if layer.is_depthwise() {
-            [layer.c, 1, layer.r, layer.s]
-        } else {
-            [layer.m, layer.c, layer.r, layer.s]
-        };
-        if weights.shape() != expected_weights {
-            return Err(ArchError::ShapeMismatch(format!(
-                "weights shape {:?}, expected {:?}",
-                weights.shape(),
-                expected_weights
-            )));
-        }
-
-        let rows = self.config.rows;
-        let cols = self.config.cols;
-        let p_total = layer.output_height();
-        let q_total = layer.output_width();
-        // Depthwise layers collapse the channel reduction: each output channel
-        // consumes only its own input channel.
-        let depthwise = layer.is_depthwise();
-        let c_cols = if depthwise { 1 } else { mapping.c_cols };
-        let q_cols = mapping.q_cols.min(cols / c_cols).max(1);
-        let m_rows = mapping.m_rows;
-        let m_tiles = layer.m.div_ceil(m_rows);
-        let c_tiles = if depthwise {
-            1
-        } else {
-            layer.c.div_ceil(c_cols)
-        };
-        let q_tiles = q_total.div_ceil(q_cols);
-
-        // --- On-chip stores ------------------------------------------------
-        let iact_dims: BTreeMap<Dim, usize> = [
-            (Dim::N, layer.n),
-            (Dim::C, layer.c),
-            (Dim::H, layer.h),
-            (Dim::W, layer.w),
-        ]
-        .into_iter()
-        .collect();
-        let iact_lines = mapping.iact_layout.total_lines(&iact_dims).max(1);
-        // The StaB behaves, for read-conflict purposes, like one dual-ported
-        // logical bank: reading more than two distinct lines in a cycle stalls.
-        let iact_spec = BufferSpec::new(
-            iact_lines,
-            mapping.iact_layout.line_size(),
-            1,
-            Banking::VerticalBlocked,
-        )
-        .with_ports(2, 2);
-        let mut iact_store: LayoutStore<i8> =
-            LayoutStore::new(iact_spec, mapping.iact_layout.clone(), iact_dims.clone());
-        // Fill the active half (models the DRAM → StaB tile load).
-        for n in 0..layer.n {
-            for c in 0..layer.c {
-                for h in 0..layer.h {
-                    for w in 0..layer.w {
-                        let coord: BTreeMap<Dim, usize> =
-                            [(Dim::N, n), (Dim::C, c), (Dim::H, h), (Dim::W, w)]
-                                .into_iter()
-                                .collect();
-                        iact_store.write_coord(&coord, iacts.get(n, c, h, w));
-                    }
-                }
-            }
-        }
-        iact_store.flush_cycle();
-        // Writing the tile is a bulk DMA, not part of the compute-cycle
-        // accounting: forget its stats by remembering the baseline.
-        let fill_stats = *iact_store.stats();
-
-        let oact_dims: BTreeMap<Dim, usize> = [
-            (Dim::N, layer.n),
-            (Dim::M, layer.m),
-            (Dim::P, p_total),
-            (Dim::Q, q_total),
-        ]
-        .into_iter()
-        .collect();
-        let oact_lines = mapping.oact_layout.total_lines(&oact_dims).max(1);
-        let oact_spec = BufferSpec::new(
-            oact_lines,
-            mapping.oact_layout.line_size(),
-            mapping.oact_layout.line_size(),
-            Banking::Horizontal,
-        )
-        .with_ports(2, 2);
-        let mut oact_store: LayoutStore<i32> =
-            LayoutStore::new(oact_spec, mapping.oact_layout.clone(), oact_dims);
-
-        // --- Engines --------------------------------------------------------
-        let mut nest = NestArray::new(rows, cols);
-        let birrd = Birrd::new(cols).map_err(|e| ArchError::InvalidDataflow(e.to_string()))?;
-        let timing = NestTiming::new(rows, cols, birrd.latency_cycles());
-
-        let mut cycles: u64 = 0;
-        let mut birrd_passes: u64 = 0;
-        let mut birrd_adds: u64 = 0;
-        let rs = layer.r * layer.s;
-        let mut first_tile = true;
-
-        for wt_m in 0..m_tiles {
-            for wt_c in 0..c_tiles {
-                // ---- Weight load (ping/pong hidden unless first tile) ----
-                for m_lane in 0..m_rows {
-                    let m = wt_m * m_rows + m_lane;
-                    for q_lane in 0..q_cols {
-                        for c_lane in 0..c_cols {
-                            let col = q_lane * c_cols + c_lane;
-                            let c = if depthwise { m } else { wt_c * c_cols + c_lane };
-                            let mut w_vec = vec![0i8; rs];
-                            if m < layer.m && c < layer.c {
-                                for r in 0..layer.r {
-                                    for s in 0..layer.s {
-                                        w_vec[r * layer.s + s] = if depthwise {
-                                            weights.get(c, 0, r, s)
-                                        } else {
-                                            weights.get(m, c, r, s)
-                                        };
-                                    }
-                                }
-                            }
-                            nest.load_weights(m_lane, col, &w_vec);
-                        }
-                    }
-                }
-                nest.swap_all_weights();
-
-                let mut fires_this_tile: u64 = 0;
-                for n in 0..layer.n {
-                    for p in 0..p_total {
-                        for qt in 0..q_tiles {
-                            // ---- Phase 1: local temporal reduction ----
-                            for rs_step in 0..rs {
-                                let r_i = rs_step / layer.s;
-                                let s_i = rs_step % layer.s;
-                                iact_store.begin_cycle();
-                                for q_lane in 0..q_cols {
-                                    let q = qt * q_cols + q_lane;
-                                    if q >= q_total {
-                                        continue;
-                                    }
-                                    for c_lane in 0..c_cols {
-                                        let col = q_lane * c_cols + c_lane;
-                                        let h_raw = p * layer.stride + r_i;
-                                        let w_raw = q * layer.stride + s_i;
-                                        if h_raw < layer.padding || w_raw < layer.padding {
-                                            continue;
-                                        }
-                                        let h = h_raw - layer.padding;
-                                        let w = w_raw - layer.padding;
-                                        if h >= layer.h || w >= layer.w {
-                                            continue;
-                                        }
-                                        for m_lane in 0..m_rows {
-                                            let m = wt_m * m_rows + m_lane;
-                                            if m >= layer.m {
-                                                continue;
-                                            }
-                                            let c =
-                                                if depthwise { m } else { wt_c * c_cols + c_lane };
-                                            if c >= layer.c {
-                                                continue;
-                                            }
-                                            let coord: BTreeMap<Dim, usize> = [
-                                                (Dim::N, n),
-                                                (Dim::C, c),
-                                                (Dim::H, h),
-                                                (Dim::W, w),
-                                            ]
-                                            .into_iter()
-                                            .collect();
-                                            // Non-depthwise: the same iAct is
-                                            // shared by every row, read once.
-                                            let value = if depthwise || m_lane == 0 {
-                                                iact_store.read_coord(&coord).unwrap_or(0)
-                                            } else {
-                                                iact_store.peek_coord(&coord).unwrap_or(0)
-                                            };
-                                            nest.mac(m_lane, col, value, rs_step);
-                                        }
-                                    }
-                                }
-                                iact_store.flush_cycle();
-                            }
-
-                            // ---- Phase 2: row fires through BIRRD (RIR) ----
-                            for m_lane in 0..m_rows {
-                                let m = wt_m * m_rows + m_lane;
-                                let mapped: Vec<bool> = (0..cols)
-                                    .map(|col| {
-                                        let q_lane = col / c_cols;
-                                        let c_lane = col % c_cols;
-                                        let q = qt * q_cols + q_lane;
-                                        let c = if depthwise { m } else { wt_c * c_cols + c_lane };
-                                        q_lane < q_cols && q < q_total && m < layer.m && c < layer.c
-                                    })
-                                    .collect();
-                                let fire = nest.fire_row(m_lane, &mapped);
-                                fires_this_tile += 1;
-                                if m >= layer.m {
-                                    continue;
-                                }
-                                // Build the reduction groups: one per q_lane,
-                                // destination = the StaB bank the oAct lands in
-                                // under the next layer's layout.
-                                let mut groups: Vec<(Vec<usize>, usize, BTreeMap<Dim, usize>)> =
-                                    Vec::new();
-                                for q_lane in 0..q_cols {
-                                    let q = qt * q_cols + q_lane;
-                                    if q >= q_total {
-                                        continue;
-                                    }
-                                    let members: Vec<usize> = (0..c_cols)
-                                        .map(|c_lane| q_lane * c_cols + c_lane)
-                                        .filter(|&col| mapped[col])
-                                        .collect();
-                                    if members.is_empty() {
-                                        continue;
-                                    }
-                                    let coord: BTreeMap<Dim, usize> =
-                                        [(Dim::N, n), (Dim::M, m), (Dim::P, p), (Dim::Q, q)]
-                                            .into_iter()
-                                            .collect();
-                                    let loc = oact_store.location(&coord);
-                                    let bank = loc.offset % cols;
-                                    groups.push((members, bank, coord));
-                                }
-                                // Split into batches with unique destination
-                                // banks (a concordant mapping needs one batch).
-                                while !groups.is_empty() {
-                                    let mut batch: Vec<(Vec<usize>, usize, BTreeMap<Dim, usize>)> =
-                                        Vec::new();
-                                    let mut used = std::collections::BTreeSet::new();
-                                    let mut rest = Vec::new();
-                                    for g in groups {
-                                        if used.insert(g.1) {
-                                            batch.push(g);
-                                        } else {
-                                            rest.push(g);
-                                        }
-                                    }
-                                    groups = rest;
-                                    let request = ReductionRequest::from_groups(
-                                        cols,
-                                        &batch
-                                            .iter()
-                                            .map(|(m, d, _)| (m.clone(), *d))
-                                            .collect::<Vec<_>>(),
-                                    )
-                                    .map_err(|e| ArchError::InvalidDataflow(e.to_string()))?;
-                                    let config = birrd
-                                        .route(&request)
-                                        .map_err(|e| ArchError::InvalidDataflow(e.to_string()))?;
-                                    let inputs: Vec<Option<i64>> = (0..cols)
-                                        .map(|col| {
-                                            if batch.iter().any(|(mem, _, _)| mem.contains(&col)) {
-                                                fire.values[col].map(|v| v as i64)
-                                            } else {
-                                                None
-                                            }
-                                        })
-                                        .collect();
-                                    let outputs = birrd
-                                        .evaluate(&config, &inputs)
-                                        .expect("routed config matches network");
-                                    birrd_passes += 1;
-                                    birrd_adds += config.adder_activations() as u64;
-                                    oact_store.begin_cycle();
-                                    for (_, bank, coord) in &batch {
-                                        let value = outputs[*bank].unwrap_or(0) as i32;
-                                        // In-situ accumulation in the output
-                                        // buffer across channel tiles.
-                                        let prev = oact_store.peek_coord(coord).unwrap_or(0);
-                                        oact_store.write_coord(coord, prev + value);
-                                    }
-                                    oact_store.flush_cycle();
-                                    if !groups.is_empty() {
-                                        // An extra BIRRD pass serializes the fire.
-                                        cycles += 1;
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-
-                let tile_timing = timing.tile(rs, fires_this_tile, rs, first_tile);
-                cycles += tile_timing.total();
-                first_tile = false;
-            }
-        }
-
-        // ---- Collect the output tensor --------------------------------------
-        let mut oacts = Tensor4::<i32>::zeros([layer.n, layer.m, p_total, q_total]);
-        for n in 0..layer.n {
-            for m in 0..layer.m {
-                for p in 0..p_total {
-                    for q in 0..q_total {
-                        let coord: BTreeMap<Dim, usize> =
-                            [(Dim::N, n), (Dim::M, m), (Dim::P, p), (Dim::Q, q)]
-                                .into_iter()
-                                .collect();
-                        oacts.set(n, m, p, q, oact_store.peek_coord(&coord).unwrap_or(0));
-                    }
-                }
-            }
-        }
-
-        // ---- Accounting -----------------------------------------------------
-        let mut iact_stats = *iact_store.stats();
-        iact_stats.element_writes -= fill_stats.element_writes;
-        iact_stats.line_writes -= fill_stats.line_writes;
-        iact_stats.active_cycles -= fill_stats.active_cycles;
-        iact_stats.conflict_stall_cycles -= fill_stats.conflict_stall_cycles;
-        let oact_stats = *oact_store.stats();
-        let stall_cycles = iact_stats.conflict_stall_cycles;
-        let cycles = cycles + stall_cycles;
-        let macs = nest.total_macs();
-
-        let dtype = DataType::Int8;
-        let dram_bytes = layer.operand_bytes(Operand::IActs, dtype)
-            + layer.operand_bytes(Operand::Weights, dtype)
-            + layer.operand_bytes(Operand::OActs, dtype);
-        let energy = EnergyBreakdown {
-            compute_pj: macs as f64 * self.energy_model.mac_pj(dtype),
-            register_pj: macs as f64 * 2.0 * self.energy_model.register_pj_per_byte,
-            sram_pj: self
-                .energy_model
-                .sram_pj(iact_stats.element_reads + oact_stats.element_writes),
-            dram_pj: self.energy_model.dram_pj(dram_bytes),
-            noc_pj: (birrd_adds + birrd_passes * cols as u64) as f64
-                * self.energy_model.reduction_switch_pj,
-            leakage_pj: self.config.num_pes() as f64
-                * cycles as f64
-                * self.energy_model.leakage_pj_per_pe_cycle,
-        };
-        let utilization =
-            macs as f64 / (cycles.max(1) as f64 * self.config.num_pes() as f64).max(1.0);
-
+        let session =
+            NetworkSession::from_mappings(self.config, vec![(layer.clone(), mapping.clone())])?;
+        let run = session.run(iacts, std::slice::from_ref(weights))?;
+        let report = run
+            .report
+            .layers
+            .into_iter()
+            .next()
+            .expect("one-layer session produces one report")
+            .report;
         Ok(LayerRun {
-            oacts,
-            report: RunReport {
-                cycles,
-                stall_cycles,
-                macs,
-                birrd_passes,
-                birrd_adds,
-                iact_stats,
-                oact_stats,
-                utilization: utilization.min(1.0),
-                energy,
-            },
+            oacts: run.oacts,
+            report,
         })
     }
 
@@ -452,20 +100,307 @@ impl Feather {
         }
         let conv = layer.as_conv();
         // iActs (1, K, 1, N) from B; weights (M, K, 1, 1) from A.
-        let mut iacts = Tensor4::<i8>::zeros([1, layer.k, 1, layer.n]);
-        for k in 0..layer.k {
-            for n in 0..layer.n {
-                iacts.set(0, k, 0, n, b.get(0, 0, k, n));
-            }
-        }
-        let mut weights = Tensor4::<i8>::zeros([layer.m, layer.k, 1, 1]);
-        for m in 0..layer.m {
-            for k in 0..layer.k {
-                weights.set(m, k, 0, 0, a.get(0, 0, m, k));
-            }
-        }
+        let iacts = Tensor4::from_fn([1, layer.k, 1, layer.n], |_, k, _, n| b.get(0, 0, k, n));
+        let weights = Tensor4::from_fn([layer.m, layer.k, 1, 1], |m, k, _, _| a.get(0, 0, m, k));
         self.execute_conv(&conv, mapping, &iacts, &weights)
     }
+}
+
+/// Checks the weight tensor shape against the layer description.
+pub(crate) fn check_weight_shape(
+    layer: &ConvLayer,
+    weights: &Tensor4<i8>,
+) -> Result<(), ArchError> {
+    let expected = if layer.is_depthwise() {
+        [layer.c, 1, layer.r, layer.s]
+    } else {
+        [layer.m, layer.c, layer.r, layer.s]
+    };
+    if weights.shape() != expected {
+        return Err(ArchError::ShapeMismatch(format!(
+            "weights shape {:?}, expected {:?}",
+            weights.shape(),
+            expected
+        )));
+    }
+    Ok(())
+}
+
+/// Raw counters produced by one pass of the inner tile loop.
+pub(crate) struct CoreRun {
+    /// Compute cycles (tile timings + serialized BIRRD passes), excluding
+    /// bank-conflict stalls — the caller charges those from the buffer stats.
+    pub cycles: u64,
+    /// Number of BIRRD passes (row fires that produced live outputs).
+    pub birrd_passes: u64,
+    /// Number of adder activations inside BIRRD.
+    pub birrd_adds: u64,
+    /// Useful MACs performed.
+    pub macs: u64,
+}
+
+/// The inner tile loop shared by the single-layer entry point and the
+/// network-level pipeline executor: weight-stationary tiling over `(M, C)`,
+/// Phase-1 local temporal reduction in NEST, Phase-2 row fires through BIRRD
+/// with Reorder-in-Reduction into the output view.
+///
+/// `iact` is the active StaB half (the layer's inputs, already staged in
+/// `mapping.iact_layout`); `oact` is the shadow half the reduced outputs land
+/// in, addressed by `mapping.oact_layout`. `route_cache` memoizes BIRRD
+/// configurations per reduction-reorder request — the controller replays the
+/// same handful of patterns for every output pixel, and routing is
+/// deterministic per request. `expose_first_weight_load` charges the cold
+/// weight load of the first tile; a pipelined layer whose weights were
+/// prefetched during the previous layer passes `false`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_conv_core(
+    config: &FeatherConfig,
+    layer: &ConvLayer,
+    mapping: &LayerMapping,
+    weights: &Tensor4<i8>,
+    iact: &mut LayoutView<'_, i32>,
+    oact: &mut LayoutView<'_, i32>,
+    route_cache: &mut BTreeMap<ReductionRequest, NetworkConfig>,
+    expose_first_weight_load: bool,
+) -> Result<CoreRun, ArchError> {
+    let rows = config.rows;
+    let cols = config.cols;
+    let p_total = layer.output_height();
+    let q_total = layer.output_width();
+    // Depthwise layers collapse the channel reduction: each output channel
+    // consumes only its own input channel.
+    let depthwise = layer.is_depthwise();
+    let c_cols = if depthwise { 1 } else { mapping.c_cols };
+    let q_cols = mapping.q_cols.min(cols / c_cols).max(1);
+    let m_rows = mapping.m_rows;
+    let m_tiles = layer.m.div_ceil(m_rows);
+    let c_tiles = if depthwise {
+        1
+    } else {
+        layer.c.div_ceil(c_cols)
+    };
+    let q_tiles = q_total.div_ceil(q_cols);
+
+    let mut nest = NestArray::new(rows, cols);
+    let birrd = Birrd::new(cols).map_err(|e| ArchError::InvalidDataflow(e.to_string()))?;
+    let timing = NestTiming::new(rows, cols, birrd.latency_cycles());
+
+    let mut cycles: u64 = 0;
+    let mut birrd_passes: u64 = 0;
+    let mut birrd_adds: u64 = 0;
+    let rs = layer.r * layer.s;
+    let mut first_tile = expose_first_weight_load;
+
+    for wt_m in 0..m_tiles {
+        for wt_c in 0..c_tiles {
+            // ---- Weight load (ping/pong hidden unless first tile) ----
+            for m_lane in 0..m_rows {
+                let m = wt_m * m_rows + m_lane;
+                for q_lane in 0..q_cols {
+                    for c_lane in 0..c_cols {
+                        let col = q_lane * c_cols + c_lane;
+                        let c = if depthwise { m } else { wt_c * c_cols + c_lane };
+                        let mut w_vec = vec![0i8; rs];
+                        if m < layer.m && c < layer.c {
+                            for r in 0..layer.r {
+                                for s in 0..layer.s {
+                                    w_vec[r * layer.s + s] = if depthwise {
+                                        weights.get(c, 0, r, s)
+                                    } else {
+                                        weights.get(m, c, r, s)
+                                    };
+                                }
+                            }
+                        }
+                        nest.load_weights(m_lane, col, &w_vec);
+                    }
+                }
+            }
+            nest.swap_all_weights();
+
+            let mut fires_this_tile: u64 = 0;
+            for n in 0..layer.n {
+                for p in 0..p_total {
+                    for qt in 0..q_tiles {
+                        // ---- Phase 1: local temporal reduction ----
+                        for rs_step in 0..rs {
+                            let r_i = rs_step / layer.s;
+                            let s_i = rs_step % layer.s;
+                            iact.begin_cycle();
+                            for q_lane in 0..q_cols {
+                                let q = qt * q_cols + q_lane;
+                                if q >= q_total {
+                                    continue;
+                                }
+                                for c_lane in 0..c_cols {
+                                    let col = q_lane * c_cols + c_lane;
+                                    let h_raw = p * layer.stride + r_i;
+                                    let w_raw = q * layer.stride + s_i;
+                                    if h_raw < layer.padding || w_raw < layer.padding {
+                                        continue;
+                                    }
+                                    let h = h_raw - layer.padding;
+                                    let w = w_raw - layer.padding;
+                                    if h >= layer.h || w >= layer.w {
+                                        continue;
+                                    }
+                                    for m_lane in 0..m_rows {
+                                        let m = wt_m * m_rows + m_lane;
+                                        if m >= layer.m {
+                                            continue;
+                                        }
+                                        let c = if depthwise { m } else { wt_c * c_cols + c_lane };
+                                        if c >= layer.c {
+                                            continue;
+                                        }
+                                        let coord = iact_coord(n, c, h, w);
+                                        // Non-depthwise: the same iAct is
+                                        // shared by every row, read once.
+                                        let value = if depthwise || m_lane == 0 {
+                                            iact.read_coord(&coord).unwrap_or(0)
+                                        } else {
+                                            iact.peek_coord(&coord).unwrap_or(0)
+                                        };
+                                        nest.mac(m_lane, col, value as i8, rs_step);
+                                    }
+                                }
+                            }
+                            iact.flush_cycle();
+                        }
+
+                        // ---- Phase 2: row fires through BIRRD (RIR) ----
+                        for m_lane in 0..m_rows {
+                            let m = wt_m * m_rows + m_lane;
+                            let mapped: Vec<bool> = (0..cols)
+                                .map(|col| {
+                                    let q_lane = col / c_cols;
+                                    let c_lane = col % c_cols;
+                                    let q = qt * q_cols + q_lane;
+                                    let c = if depthwise { m } else { wt_c * c_cols + c_lane };
+                                    q_lane < q_cols && q < q_total && m < layer.m && c < layer.c
+                                })
+                                .collect();
+                            let fire = nest.fire_row(m_lane, &mapped);
+                            fires_this_tile += 1;
+                            if m >= layer.m {
+                                continue;
+                            }
+                            // Build the reduction groups: one per q_lane,
+                            // destination = the StaB bank the oAct lands in
+                            // under the next layer's layout.
+                            let mut groups: Vec<(Vec<usize>, usize, Coord)> = Vec::new();
+                            for q_lane in 0..q_cols {
+                                let q = qt * q_cols + q_lane;
+                                if q >= q_total {
+                                    continue;
+                                }
+                                let members: Vec<usize> = (0..c_cols)
+                                    .map(|c_lane| q_lane * c_cols + c_lane)
+                                    .filter(|&col| mapped[col])
+                                    .collect();
+                                if members.is_empty() {
+                                    continue;
+                                }
+                                let coord = oact_coord(n, m, p, q);
+                                let loc = oact.location(&coord);
+                                let bank = loc.offset % cols;
+                                groups.push((members, bank, coord));
+                            }
+                            // Split into batches with unique destination
+                            // banks (a concordant mapping needs one batch).
+                            while !groups.is_empty() {
+                                let mut batch: Vec<(Vec<usize>, usize, Coord)> = Vec::new();
+                                let mut used = std::collections::BTreeSet::new();
+                                let mut rest = Vec::new();
+                                for g in groups {
+                                    if used.insert(g.1) {
+                                        batch.push(g);
+                                    } else {
+                                        rest.push(g);
+                                    }
+                                }
+                                groups = rest;
+                                let request = ReductionRequest::from_groups(
+                                    cols,
+                                    &batch
+                                        .iter()
+                                        .map(|(m, d, _)| (m.clone(), *d))
+                                        .collect::<Vec<_>>(),
+                                )
+                                .map_err(|e| ArchError::InvalidDataflow(e.to_string()))?;
+                                let config = match route_cache.get(&request) {
+                                    Some(hit) => hit.clone(),
+                                    None => {
+                                        let routed = birrd.route(&request).map_err(|e| {
+                                            ArchError::InvalidDataflow(e.to_string())
+                                        })?;
+                                        route_cache.insert(request.clone(), routed.clone());
+                                        routed
+                                    }
+                                };
+                                let inputs: Vec<Option<i64>> = (0..cols)
+                                    .map(|col| {
+                                        if batch.iter().any(|(mem, _, _)| mem.contains(&col)) {
+                                            fire.values[col].map(|v| v as i64)
+                                        } else {
+                                            None
+                                        }
+                                    })
+                                    .collect();
+                                let outputs = birrd
+                                    .evaluate(&config, &inputs)
+                                    .expect("routed config matches network");
+                                birrd_passes += 1;
+                                birrd_adds += config.adder_activations() as u64;
+                                oact.begin_cycle();
+                                for (_, bank, coord) in &batch {
+                                    let value = outputs[*bank].unwrap_or(0) as i32;
+                                    // In-situ accumulation in the output
+                                    // buffer across channel tiles.
+                                    let prev = oact.peek_coord(coord).unwrap_or(0);
+                                    oact.write_coord(coord, prev + value);
+                                }
+                                oact.flush_cycle();
+                                if !groups.is_empty() {
+                                    // An extra BIRRD pass serializes the fire.
+                                    cycles += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            let tile_timing = timing.tile(rs, fires_this_tile, rs, first_tile);
+            cycles += tile_timing.total();
+            first_tile = false;
+        }
+    }
+
+    Ok(CoreRun {
+        cycles,
+        birrd_passes,
+        birrd_adds,
+        macs: nest.total_macs(),
+    })
+}
+
+type Coord = BTreeMap<feather_arch::Dim, usize>;
+
+/// `(N, C, H, W)` coordinate map for an iAct element.
+pub(crate) fn iact_coord(n: usize, c: usize, h: usize, w: usize) -> Coord {
+    use feather_arch::Dim;
+    [(Dim::N, n), (Dim::C, c), (Dim::H, h), (Dim::W, w)]
+        .into_iter()
+        .collect()
+}
+
+/// `(N, M, P, Q)` coordinate map for an oAct element.
+pub(crate) fn oact_coord(n: usize, m: usize, p: usize, q: usize) -> Coord {
+    use feather_arch::Dim;
+    [(Dim::N, n), (Dim::M, m), (Dim::P, p), (Dim::Q, q)]
+        .into_iter()
+        .collect()
 }
 
 #[cfg(test)]
@@ -541,6 +476,17 @@ mod tests {
     fn conv_matches_reference_1x1_kernel() {
         check_conv(
             ConvLayer::new(1, 8, 8, 4, 4, 1, 1),
+            FeatherConfig::new(4, 4),
+            "HWC_C4",
+            "MPQ_Q4",
+        );
+    }
+
+    #[test]
+    fn conv_matches_reference_multi_batch() {
+        // N = 3: the tile loop reuses the staged weights across the batch.
+        check_conv(
+            ConvLayer::new(3, 4, 4, 5, 5, 3, 3).with_padding(1),
             FeatherConfig::new(4, 4),
             "HWC_C4",
             "MPQ_Q4",
@@ -624,5 +570,9 @@ mod tests {
         assert!(run.report.utilization > 0.0 && run.report.utilization <= 1.0);
         assert!(run.report.energy.total_pj() > 0.0);
         assert!(run.report.birrd_passes > 0);
+        // The single-layer path pays the full DRAM round trip.
+        assert!(run.report.dram_iact_bytes > 0);
+        assert!(run.report.dram_weight_bytes > 0);
+        assert!(run.report.dram_oact_bytes > 0);
     }
 }

@@ -15,6 +15,12 @@
 //! ([`feather_nest::timing`]) and the buffer access statistics provide the
 //! latency/energy numbers used by the examples and benchmarks.
 //!
+//! Single layers run through [`Feather::execute_conv`] /
+//! [`Feather::execute_gemm`]; whole layer chains pipeline back-to-back
+//! through the ping/pong StaB via [`session::NetworkSession`], which is where
+//! RIR pays off: intermediate activations are reduced directly into the next
+//! layer's layout and never leave the chip.
+//!
 //! # Example
 //!
 //! ```
@@ -43,8 +49,10 @@ pub mod accelerator;
 pub mod config;
 pub mod mapping;
 pub mod report;
+pub mod session;
 
 pub use accelerator::Feather;
 pub use config::FeatherConfig;
 pub use mapping::LayerMapping;
-pub use report::{LayerRun, RunReport};
+pub use report::{LayerRun, LayerSummary, NetworkReport, NetworkRun, RunReport};
+pub use session::NetworkSession;

@@ -42,6 +42,26 @@ impl LayerMapping {
         iact_layout: &str,
         oact_layout: &str,
     ) -> Self {
+        Self::weight_stationary_layouts(
+            layer,
+            config,
+            iact_layout
+                .parse()
+                .expect("iact layout string must be valid"),
+            oact_layout
+                .parse()
+                .expect("oact layout string must be valid"),
+        )
+    }
+
+    /// [`LayerMapping::weight_stationary`] with already-parsed layouts (the
+    /// form the pipeline session uses for its derived boundary layouts).
+    pub fn weight_stationary_layouts(
+        layer: &ConvLayer,
+        config: &FeatherConfig,
+        iact_layout: Layout,
+        oact_layout: Layout,
+    ) -> Self {
         let m_rows = layer.m.min(config.rows).max(1);
         let c_cols = layer.c.min(config.cols).max(1);
         let q_cols = layer.output_width().min(config.cols / c_cols).max(1);
@@ -49,13 +69,56 @@ impl LayerMapping {
             m_rows,
             c_cols,
             q_cols,
-            iact_layout: iact_layout
-                .parse()
-                .expect("iact layout string must be valid"),
-            oact_layout: oact_layout
-                .parse()
-                .expect("oact layout string must be valid"),
+            iact_layout,
+            oact_layout,
         }
+    }
+
+    /// Projects a co-searched [`Dataflow`] (e.g. from
+    /// `layoutloop::cosearch::plan_network`) onto FEATHER's controller
+    /// vocabulary: the `M` factor parallelized across rows and the `C`/`Q`
+    /// factors parallelized across columns. Dimensions the controller does not
+    /// parallelize (`P`, `R`, `S`) stay temporal; factors are clamped to the
+    /// array and the layer.
+    ///
+    /// # Errors
+    /// Returns [`ArchError::InvalidDataflow`] if the projected factors do not
+    /// form a valid mapping for this layer/hardware.
+    pub fn from_dataflow(
+        layer: &ConvLayer,
+        config: &FeatherConfig,
+        dataflow: &Dataflow,
+        iact_layout: Layout,
+        oact_layout: Layout,
+    ) -> Result<Self, ArchError> {
+        let factor_of = |dims: &[ParallelDim], d: Dim| {
+            dims.iter()
+                .filter(|p| p.dim == d)
+                .map(|p| p.factor)
+                .product::<usize>()
+                .max(1)
+        };
+        let m_rows = factor_of(&dataflow.row_parallel, Dim::M)
+            .min(config.rows)
+            .min(layer.m)
+            .max(1);
+        let c_cols = factor_of(&dataflow.col_parallel, Dim::C)
+            .min(config.cols)
+            .min(layer.c)
+            .max(1);
+        let q_cols = factor_of(&dataflow.col_parallel, Dim::Q)
+            .min(config.cols / c_cols)
+            .min(layer.output_width())
+            .max(1);
+        let mapping = LayerMapping {
+            m_rows,
+            c_cols,
+            q_cols,
+            iact_layout,
+            oact_layout,
+        };
+        mapping.validate(layer, config)?;
+        Ok(mapping)
     }
 
     /// Validates the mapping against a layer and hardware configuration.
@@ -169,6 +232,50 @@ mod tests {
         let mut m2 = LayerMapping::weight_stationary(&layer(), &cfg, "HWC_C4", "MPQ_Q4");
         m2.oact_layout = "MPQ_Q8".parse().unwrap();
         assert!(m2.validate(&layer(), &cfg).is_err());
+    }
+
+    #[test]
+    fn from_dataflow_roundtrips_weight_stationary() {
+        let cfg = FeatherConfig::new(4, 4);
+        let l = layer();
+        let ws = LayerMapping::weight_stationary(&l, &cfg, "HWC_C4", "MPQ_Q4");
+        let df = ws.as_dataflow(&l, &cfg);
+        let projected = LayerMapping::from_dataflow(
+            &l,
+            &cfg,
+            &df,
+            "HWC_C4".parse().unwrap(),
+            "MPQ_Q4".parse().unwrap(),
+        )
+        .unwrap();
+        assert_eq!(projected, ws);
+    }
+
+    #[test]
+    fn from_dataflow_clamps_foreign_parallelism() {
+        use feather_arch::dataflow::{ArrayShape, LoopNest};
+        // A dataflow parallelizing P across columns projects to a plain
+        // M-rows mapping with unit column factors.
+        let cfg = FeatherConfig::new(4, 4);
+        let l = layer();
+        let df = Dataflow::new(
+            "p-parallel",
+            ArrayShape::new(4, 4),
+            vec![ParallelDim::new(Dim::M, 4)],
+            vec![ParallelDim::new(Dim::P, 4)],
+            LoopNest::new([(Dim::C, 8)]),
+        );
+        let m = LayerMapping::from_dataflow(
+            &l,
+            &cfg,
+            &df,
+            "HWC_C4".parse().unwrap(),
+            "MPQ_Q4".parse().unwrap(),
+        )
+        .unwrap();
+        assert_eq!(m.m_rows, 4);
+        assert_eq!(m.c_cols, 1);
+        assert_eq!(m.q_cols, 1);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Results of running a layer on the functional simulator.
+//! Results of running a layer — or a whole layer pipeline — on the
+//! functional simulator.
 
 use feather_arch::energy::EnergyBreakdown;
 use feather_arch::tensor::Tensor4;
@@ -22,6 +23,15 @@ pub struct RunReport {
     pub iact_stats: AccessStats,
     /// StaB write-side access statistics.
     pub oact_stats: AccessStats,
+    /// DRAM traffic for input activations. In a pipelined run only the first
+    /// layer stages its iActs from DRAM; later layers read them from the StaB
+    /// half the previous layer filled, so this is zero for them.
+    pub dram_iact_bytes: u64,
+    /// DRAM traffic for weights (streamed once per layer).
+    pub dram_weight_bytes: u64,
+    /// DRAM traffic for output activations. In a pipelined run intermediate
+    /// oActs stay on chip; only the last layer writes back.
+    pub dram_oact_bytes: u64,
     /// Steady-state compute utilization (useful MACs / PE·cycles).
     pub utilization: f64,
     /// Energy breakdown.
@@ -42,6 +52,16 @@ impl RunReport {
             self.macs as f64 / self.cycles as f64
         }
     }
+
+    /// Total DRAM traffic of this layer (operands + results).
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_iact_bytes + self.dram_weight_bytes + self.dram_oact_bytes
+    }
+
+    /// DRAM traffic spent on activations only (iActs staged + oActs drained).
+    pub fn dram_activation_bytes(&self) -> u64 {
+        self.dram_iact_bytes + self.dram_oact_bytes
+    }
 }
 
 /// The output tensor plus the run report.
@@ -54,44 +74,175 @@ pub struct LayerRun {
     pub report: RunReport,
 }
 
+/// One layer's entry in a [`NetworkReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerSummary {
+    /// Layer name.
+    pub name: String,
+    /// The layer's run report, with *pipelined* DRAM accounting (intermediate
+    /// activations never touch DRAM).
+    pub report: RunReport,
+    /// The activation DRAM bytes this layer would have paid if executed
+    /// layer-at-a-time (stage iActs from DRAM, drain oActs back) — the
+    /// baseline the pipeline's savings are measured against.
+    pub standalone_activation_dram_bytes: u64,
+}
+
+/// Aggregate accounting for a multi-layer pipelined execution
+/// ([`NetworkSession`](crate::session::NetworkSession)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkReport {
+    /// Per-layer entries, in execution order.
+    pub layers: Vec<LayerSummary>,
+    /// Number of StaB ping/pong swaps performed: one per executed layer —
+    /// every layer (including the last) ends with the boundary swap that
+    /// publishes its oActs to the active side, so this equals the layer
+    /// count.
+    pub stab_swaps: u64,
+}
+
+impl NetworkReport {
+    /// Total cycles across all layers.
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.report.cycles).sum()
+    }
+
+    /// Total useful MACs across all layers.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.report.macs).sum()
+    }
+
+    /// Total cycles lost to bank conflicts.
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.report.stall_cycles).sum()
+    }
+
+    /// Total energy in pJ.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.layers.iter().map(|l| l.report.energy.total_pj()).sum()
+    }
+
+    /// Total DRAM traffic of the pipelined execution.
+    pub fn dram_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.report.dram_bytes()).sum()
+    }
+
+    /// Activation DRAM traffic of the pipelined execution: the first layer's
+    /// iAct staging plus the last layer's oAct drain.
+    pub fn dram_activation_bytes(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.report.dram_activation_bytes())
+            .sum()
+    }
+
+    /// Activation DRAM traffic a layer-at-a-time execution of the same
+    /// network would pay (every layer stages and drains through DRAM).
+    pub fn layer_at_a_time_activation_bytes(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.standalone_activation_dram_bytes)
+            .sum()
+    }
+
+    /// Fraction of activation DRAM traffic the pipeline eliminated relative
+    /// to layer-at-a-time execution (0 for a single-layer session).
+    pub fn dram_activation_savings(&self) -> f64 {
+        let baseline = self.layer_at_a_time_activation_bytes();
+        if baseline == 0 {
+            return 0.0;
+        }
+        1.0 - self.dram_activation_bytes() as f64 / baseline as f64
+    }
+
+    /// MAC-per-PE-cycle utilization over the whole run.
+    pub fn utilization(&self, num_pes: usize) -> f64 {
+        let denom = self.total_cycles().max(1) as f64 * num_pes.max(1) as f64;
+        (self.total_macs() as f64 / denom).min(1.0)
+    }
+}
+
+/// The final output tensor plus the aggregate report of a pipelined run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkRun {
+    /// The last layer's output activations (INT32 accumulators,
+    /// pre-quantization), in `(N, M, P, Q)` order.
+    pub oacts: Tensor4<i32>,
+    /// Aggregate per-layer + network accounting.
+    pub report: NetworkReport,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn derived_metrics() {
-        let report = RunReport {
-            cycles: 100,
+    fn report(cycles: u64, macs: u64) -> RunReport {
+        RunReport {
+            cycles,
             stall_cycles: 0,
-            macs: 400,
+            macs,
             birrd_passes: 10,
             birrd_adds: 30,
             iact_stats: AccessStats::default(),
             oact_stats: AccessStats::default(),
+            dram_iact_bytes: 0,
+            dram_weight_bytes: 0,
+            dram_oact_bytes: 0,
             utilization: 1.0,
             energy: EnergyBreakdown {
                 compute_pj: 200.0,
                 ..Default::default()
             },
-        };
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let report = report(100, 400);
         assert!((report.macs_per_cycle() - 4.0).abs() < 1e-12);
         assert!((report.pj_per_mac() - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn zero_cycles_guard() {
-        let report = RunReport {
-            cycles: 0,
-            stall_cycles: 0,
-            macs: 0,
-            birrd_passes: 0,
-            birrd_adds: 0,
-            iact_stats: AccessStats::default(),
-            oact_stats: AccessStats::default(),
-            utilization: 0.0,
-            energy: EnergyBreakdown::default(),
+        let mut r = report(0, 0);
+        r.utilization = 0.0;
+        r.energy = EnergyBreakdown::default();
+        assert_eq!(r.macs_per_cycle(), 0.0);
+        assert_eq!(r.pj_per_mac(), 0.0);
+    }
+
+    #[test]
+    fn network_report_aggregates_and_savings() {
+        let mut first = report(100, 400);
+        first.dram_iact_bytes = 1000;
+        first.dram_weight_bytes = 64;
+        let mut last = report(50, 200);
+        last.dram_oact_bytes = 500;
+        last.dram_weight_bytes = 32;
+        let net = NetworkReport {
+            layers: vec![
+                LayerSummary {
+                    name: "l0".into(),
+                    report: first,
+                    standalone_activation_dram_bytes: 1000 + 800,
+                },
+                LayerSummary {
+                    name: "l1".into(),
+                    report: last,
+                    standalone_activation_dram_bytes: 800 + 500,
+                },
+            ],
+            stab_swaps: 2,
         };
-        assert_eq!(report.macs_per_cycle(), 0.0);
-        assert_eq!(report.pj_per_mac(), 0.0);
+        assert_eq!(net.total_cycles(), 150);
+        assert_eq!(net.total_macs(), 600);
+        assert_eq!(net.dram_bytes(), 1000 + 64 + 500 + 32);
+        assert_eq!(net.dram_activation_bytes(), 1500);
+        assert_eq!(net.layer_at_a_time_activation_bytes(), 3100);
+        assert!(net.dram_activation_bytes() < net.layer_at_a_time_activation_bytes());
+        let savings = net.dram_activation_savings();
+        assert!(savings > 0.5 && savings < 0.52, "{savings}");
+        assert!((net.utilization(4) - 1.0).abs() < 1e-12);
     }
 }

@@ -1,0 +1,256 @@
+//! Memoization of co-search results.
+//!
+//! Real networks repeat layer shapes heavily — ResNet-50's 53 convolutions
+//! collapse to ~20 distinct shapes, and BERT's 360 GEMMs to 4 — so a
+//! per-(layer-shape, arch) cache turns a full-network co-search into a handful
+//! of unique searches plus lookups. The cache key deliberately ignores layer
+//! *names*: two layers with identical dimensions, stride, padding and kind on
+//! the same architecture with the same mapper settings, seed and predecessor
+//! layout are the same search problem.
+
+use std::collections::BTreeMap;
+
+use feather_arch::layout::Layout;
+use feather_arch::workload::Workload;
+use feather_arch::ArchError;
+
+use crate::arch::ArchSpec;
+use crate::cosearch::CoSearchResult;
+use crate::mapper::MapperConfig;
+
+/// A name-agnostic signature of a co-search problem.
+fn cache_key(
+    arch: &ArchSpec,
+    workload: &Workload,
+    prev_layout: Option<&Layout>,
+    mapper: &MapperConfig,
+    seed: u64,
+) -> String {
+    let shape = match workload {
+        Workload::Conv(c) => format!(
+            "conv:n{}m{}c{}h{}w{}r{}s{}st{}p{}k{:?}",
+            c.n, c.m, c.c, c.h, c.w, c.r, c.s, c.stride, c.padding, c.kind
+        ),
+        Workload::Gemm(g) => format!("gemm:m{}k{}n{}", g.m, g.k, g.n),
+    };
+    // The whole arch spec and mapper config (Debug form) are part of the key,
+    // not just names or selected fields: several ArchSpec constructors reuse
+    // one name across array sizes (e.g. "SIGMA-like-HWC_C32" at 16x16 and
+    // 32x32), and every public field — buffer organization, bandwidth,
+    // policies, energy constants, candidate budgets — feeds the evaluation.
+    // Debug keeps the key in sync when fields are added later.
+    format!(
+        "{arch:?}|{}|{}|{mapper:?}|seed{}",
+        shape,
+        prev_layout.map(|l| l.to_string()).unwrap_or_default(),
+        seed
+    )
+}
+
+/// A memo table for [`CoSearchResult`]s, keyed by
+/// (architecture, layer shape, predecessor layout, mapper settings, seed).
+#[derive(Debug, Clone, Default)]
+pub struct CoSearchCache {
+    entries: BTreeMap<String, CoSearchResult>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CoSearchCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        CoSearchCache::default()
+    }
+
+    /// Number of lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that had to run a fresh co-search.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct (shape, arch, …) problems stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a cached result for the given problem, counting a hit or
+    /// miss. The returned result's layer name is rewritten to the queried
+    /// workload's name (the cache is shape-keyed, not name-keyed).
+    pub fn lookup(
+        &mut self,
+        arch: &ArchSpec,
+        workload: &Workload,
+        prev_layout: Option<&Layout>,
+        mapper: &MapperConfig,
+        seed: u64,
+    ) -> Option<CoSearchResult> {
+        let key = cache_key(arch, workload, prev_layout, mapper, seed);
+        match self.entries.get(&key) {
+            Some(hit) => {
+                self.hits += 1;
+                let mut result = hit.clone();
+                result.evaluation.layer = workload.name().to_string();
+                Some(result)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Returns the cached result for the given problem or computes, stores
+    /// and returns a fresh one — building the (arch, shape, mapper) key
+    /// string only once per call, unlike a `lookup` + `insert` pair.
+    pub fn get_or_compute(
+        &mut self,
+        arch: &ArchSpec,
+        workload: &Workload,
+        prev_layout: Option<&Layout>,
+        mapper: &MapperConfig,
+        seed: u64,
+        compute: impl FnOnce() -> Result<CoSearchResult, ArchError>,
+    ) -> Result<CoSearchResult, ArchError> {
+        let key = cache_key(arch, workload, prev_layout, mapper, seed);
+        if let Some(hit) = self.entries.get(&key) {
+            self.hits += 1;
+            let mut result = hit.clone();
+            result.evaluation.layer = workload.name().to_string();
+            return Ok(result);
+        }
+        self.misses += 1;
+        let result = compute()?;
+        self.entries.insert(key, result.clone());
+        Ok(result)
+    }
+
+    /// Stores a freshly-computed result for the given problem.
+    pub fn insert(
+        &mut self,
+        arch: &ArchSpec,
+        workload: &Workload,
+        prev_layout: Option<&Layout>,
+        mapper: &MapperConfig,
+        seed: u64,
+        result: CoSearchResult,
+    ) {
+        let key = cache_key(arch, workload, prev_layout, mapper, seed);
+        self.entries.insert(key, result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cosearch::co_search_with;
+    use feather_arch::workload::ConvLayer;
+
+    fn layer(name: &str) -> Workload {
+        ConvLayer::new(1, 32, 16, 14, 14, 3, 3)
+            .with_padding(1)
+            .with_name(name)
+            .into()
+    }
+
+    #[test]
+    fn same_shape_different_name_hits() {
+        let arch = ArchSpec::feather_like(16, 16);
+        let mapper = MapperConfig::fast();
+        let mut cache = CoSearchCache::new();
+        let a = layer("a");
+        assert!(cache.lookup(&arch, &a, None, &mapper, 0).is_none());
+        let result = co_search_with(&arch, &a, None, &mapper, 0).unwrap();
+        cache.insert(&arch, &a, None, &mapper, 0, result.clone());
+
+        let b = layer("b");
+        let hit = cache.lookup(&arch, &b, None, &mapper, 0).unwrap();
+        assert_eq!(hit.layout, result.layout);
+        assert_eq!(hit.evaluation.cycles, result.evaluation.cycles);
+        // The hit is relabeled for the querying layer.
+        assert_eq!(hit.evaluation.layer, "b");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_prev_layout_misses() {
+        let arch = ArchSpec::feather_like(16, 16);
+        let mapper = MapperConfig::fast();
+        let mut cache = CoSearchCache::new();
+        let w = layer("a");
+        let result = co_search_with(&arch, &w, None, &mapper, 0).unwrap();
+        cache.insert(&arch, &w, None, &mapper, 0, result);
+        let prev: Layout = "HWC_W32".parse().unwrap();
+        assert!(cache.lookup(&arch, &w, Some(&prev), &mapper, 0).is_none());
+        // Different architecture also misses.
+        let sigma = ArchSpec::sigma_like_fixed_layout(16, 16, "HWC_C32");
+        assert!(cache.lookup(&sigma, &w, None, &mapper, 0).is_none());
+    }
+
+    #[test]
+    fn get_or_compute_computes_once_then_hits() {
+        let arch = ArchSpec::feather_like(16, 16);
+        let mapper = MapperConfig::fast();
+        let mut cache = CoSearchCache::new();
+        let mut computes = 0;
+        for name in ["a", "b"] {
+            let w = layer(name);
+            let hit = cache
+                .get_or_compute(&arch, &w, None, &mapper, 0, || {
+                    computes += 1;
+                    co_search_with(&arch, &w, None, &mapper, 0)
+                })
+                .unwrap();
+            assert_eq!(hit.evaluation.layer, name);
+        }
+        assert_eq!(computes, 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn different_mapper_settings_miss() {
+        let arch = ArchSpec::feather_like(16, 16);
+        let mapper = MapperConfig::fast();
+        let mut cache = CoSearchCache::new();
+        let w = layer("a");
+        let result = co_search_with(&arch, &w, None, &mapper, 0).unwrap();
+        cache.insert(&arch, &w, None, &mapper, 0, result);
+        let mut tweaked = mapper;
+        tweaked.max_candidates += 1;
+        assert!(cache.lookup(&arch, &w, None, &tweaked, 0).is_none());
+        assert!(cache.lookup(&arch, &w, None, &mapper, 0).is_some());
+    }
+
+    #[test]
+    fn same_name_different_spec_misses() {
+        // Several constructors reuse one name across array sizes, and specs
+        // are freely mutable; the full spec is part of the key so differing
+        // specs must not alias.
+        let small = ArchSpec::sigma_like_fixed_layout(16, 16, "HWC_C32");
+        let large = ArchSpec::sigma_like_fixed_layout(32, 32, "HWC_C32");
+        assert_eq!(small.name, large.name);
+        let mapper = MapperConfig::fast();
+        let mut cache = CoSearchCache::new();
+        let w = layer("a");
+        let result = co_search_with(&small, &w, None, &mapper, 0).unwrap();
+        cache.insert(&small, &w, None, &mapper, 0, result.clone());
+        assert!(cache.lookup(&large, &w, None, &mapper, 0).is_none());
+        // Same name and shape but a tweaked field also misses.
+        let mut tweaked = small.clone();
+        tweaked.dram_bandwidth_bytes_per_cycle *= 2.0;
+        assert!(cache.lookup(&tweaked, &w, None, &mapper, 0).is_none());
+        // The untouched spec still hits.
+        assert!(cache.lookup(&small, &w, None, &mapper, 0).is_some());
+    }
+}

@@ -10,6 +10,7 @@ use feather_arch::ArchError;
 use serde::{Deserialize, Serialize};
 
 use crate::arch::ArchSpec;
+use crate::cache::CoSearchCache;
 use crate::evaluate::{evaluate, Evaluation};
 use crate::mapper::{search_dataflows, MapperConfig};
 
@@ -105,6 +106,25 @@ pub fn co_search_with(
     })
 }
 
+/// Like [`co_search_with`], but consults (and fills) a [`CoSearchCache`]
+/// first: repeated layer shapes on the same architecture are looked up
+/// instead of re-searched.
+///
+/// # Errors
+/// Same failure modes as [`co_search_with`].
+pub fn co_search_memoized(
+    cache: &mut CoSearchCache,
+    arch: &ArchSpec,
+    workload: &Workload,
+    prev_layout: Option<&Layout>,
+    mapper: &MapperConfig,
+    seed: u64,
+) -> Result<CoSearchResult, ArchError> {
+    cache.get_or_compute(arch, workload, prev_layout, mapper, seed, || {
+        co_search_with(arch, workload, prev_layout, mapper, seed)
+    })
+}
+
 /// Per-layer co-search over a whole network, chaining layouts: each layer's
 /// chosen layout becomes the next layer's predecessor layout, so designs
 /// without free reordering pay the conversion cost whenever the optimal layout
@@ -118,14 +138,65 @@ pub fn co_search_network(
     mapper: &MapperConfig,
     seed: u64,
 ) -> Result<Vec<CoSearchResult>, ArchError> {
-    let mut results = Vec::with_capacity(network.len());
+    let mut cache = CoSearchCache::new();
+    Ok(plan_network(arch, network, mapper, seed, &mut cache)?.per_layer)
+}
+
+/// The per-layer (dataflow, layout) schedule a pipeline executor consumes,
+/// produced by [`plan_network`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkPlan {
+    /// Network name the plan was produced for.
+    pub network_name: String,
+    /// Per-layer winners, in execution order; each layer's chosen layout was
+    /// the next layer's predecessor constraint.
+    pub per_layer: Vec<CoSearchResult>,
+    /// Cache hits served while planning (repeated layer shapes).
+    pub cache_hits: u64,
+    /// Fresh co-searches run while planning.
+    pub cache_misses: u64,
+}
+
+impl NetworkPlan {
+    /// The `(dataflow, iAct layout)` schedule in the shape
+    /// `feather::NetworkSession::from_schedule` consumes.
+    pub fn schedule(&self) -> Vec<(Dataflow, Layout)> {
+        self.per_layer
+            .iter()
+            .map(|r| (r.dataflow.clone(), r.layout.clone()))
+            .collect()
+    }
+}
+
+/// Plans a whole network for pipelined execution: per-layer co-search with
+/// layout chaining, memoized through `cache` so repeated layer shapes (ResNet
+/// bottlenecks, BERT encoder blocks) are searched once. The same cache can be
+/// shared across networks and repeated planning calls.
+///
+/// # Errors
+/// Propagates the first per-layer co-search failure.
+pub fn plan_network(
+    arch: &ArchSpec,
+    network: &Network,
+    mapper: &MapperConfig,
+    seed: u64,
+    cache: &mut CoSearchCache,
+) -> Result<NetworkPlan, ArchError> {
+    let hits_before = cache.hits();
+    let misses_before = cache.misses();
+    let mut per_layer = Vec::with_capacity(network.len());
     let mut prev_layout: Option<Layout> = None;
     for layer in network {
-        let result = co_search_with(arch, layer, prev_layout.as_ref(), mapper, seed)?;
+        let result = co_search_memoized(cache, arch, layer, prev_layout.as_ref(), mapper, seed)?;
         prev_layout = Some(result.layout.clone());
-        results.push(result);
+        per_layer.push(result);
     }
-    Ok(results)
+    Ok(NetworkPlan {
+        network_name: network.name.clone(),
+        per_layer,
+        cache_hits: cache.hits() - hits_before,
+        cache_misses: cache.misses() - misses_before,
+    })
 }
 
 /// Aggregate metrics over a network co-search (geometric means, the statistics
@@ -235,6 +306,40 @@ mod tests {
         assert!(summary.total_cycles > 0);
         assert!(summary.avg_utilization > 0.0 && summary.avg_utilization <= 1.0);
         assert_eq!(summary.total_stall_cycles, 0);
+    }
+
+    #[test]
+    fn plan_network_memoizes_repeated_shapes() {
+        // Duplicate the 3-layer net back to back with fresh names: the second
+        // half must be served from the cache (same shapes, same chained
+        // predecessor layouts).
+        let base = small_net();
+        let mut layers = base.layers.clone();
+        for (i, l) in base.layers.iter().enumerate() {
+            if let feather_arch::workload::Workload::Conv(c) = l {
+                layers.push(feather_arch::workload::Workload::Conv(
+                    c.clone().with_name(format!("dup{i}")),
+                ));
+            }
+        }
+        // Make the duplicated run chainable cache-wise: shapes repeat, so
+        // after the first layer of the duplicate block, prev layouts repeat
+        // too whenever the search is deterministic.
+        let net = Network::new("tiny_x2", layers);
+        let arch = ArchSpec::feather_like(16, 16);
+        let mut cache = CoSearchCache::new();
+        let plan = plan_network(&arch, &net, &MapperConfig::fast(), 0, &mut cache).unwrap();
+        assert_eq!(plan.per_layer.len(), net.len());
+        assert!(plan.cache_hits >= 2, "hits: {}", plan.cache_hits);
+        assert!(plan.cache_misses < net.len() as u64);
+        // Re-planning the original network with the warm cache is all hits.
+        let replan = plan_network(&arch, &base, &MapperConfig::fast(), 0, &mut cache).unwrap();
+        assert_eq!(replan.cache_misses, 0);
+        assert_eq!(replan.cache_hits, base.len() as u64);
+        // Cached results carry the querying layer's name.
+        assert_eq!(replan.per_layer[0].evaluation.layer, "l0");
+        // And the schedule has one (dataflow, layout) entry per layer.
+        assert_eq!(replan.schedule().len(), base.len());
     }
 
     #[test]

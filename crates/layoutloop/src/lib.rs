@@ -35,11 +35,13 @@
 
 pub mod access;
 pub mod arch;
+pub mod cache;
 pub mod cosearch;
 pub mod evaluate;
 pub mod mapper;
 
 pub use arch::{ArchSpec, DataflowFlexibility, ReorderCapability};
-pub use cosearch::{co_search, CoSearchResult};
+pub use cache::CoSearchCache;
+pub use cosearch::{co_search, plan_network, CoSearchResult, NetworkPlan};
 pub use evaluate::{evaluate, Evaluation};
 pub use mapper::{search_dataflows, MapperConfig};

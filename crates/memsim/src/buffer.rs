@@ -54,6 +54,59 @@ impl<T: Copy> FunctionalBuffer<T> {
         self.data.fill(None);
     }
 
+    /// Switches the conflict-accounting discipline (banking/ports) without
+    /// touching the stored data or statistics. The line geometry must be
+    /// unchanged — this models the *same* SRAM being accessed under a
+    /// different role, e.g. a StaB half that was the BIRRD write target of
+    /// layer `i` becoming the read side of layer `i + 1` after a ping/pong
+    /// swap.
+    ///
+    /// # Panics
+    /// Panics if `spec` changes `num_lines` or `line_size` (that would
+    /// invalidate the stored addresses; use [`FunctionalBuffer::reshape`]).
+    pub fn rebank(&mut self, spec: BufferSpec) {
+        assert!(
+            spec.num_lines == self.spec.num_lines && spec.line_size == self.spec.line_size,
+            "rebank must preserve geometry: {}x{} -> {}x{}",
+            self.spec.num_lines,
+            self.spec.line_size,
+            spec.num_lines,
+            spec.line_size
+        );
+        self.flush_cycle();
+        self.spec = spec;
+    }
+
+    /// Re-provisions the buffer for a new tenant: adopts the new spec
+    /// (including a different line geometry), discards all stored data, and
+    /// keeps the accumulated statistics. This is what happens to the shadow
+    /// StaB half at a layer boundary — the previous layer's stale iActs are
+    /// dead and the half is redrawn for the next layer's oAct layout.
+    pub fn reshape(&mut self, spec: BufferSpec) {
+        self.flush_cycle();
+        self.spec = spec;
+        self.data.clear();
+        self.data.resize(spec.capacity(), None);
+    }
+
+    /// Writes one element without recording an access — the counterpart of
+    /// [`FunctionalBuffer::peek`]. Used for operations that are architecturally
+    /// free, e.g. the quantization module rescaling accumulators in place on
+    /// the way into the StaB (§III-C.4).
+    ///
+    /// # Panics
+    /// Panics if the location is out of bounds.
+    pub fn poke(&mut self, line: usize, offset: usize, value: T) {
+        assert!(
+            line < self.spec.num_lines && offset < self.spec.line_size,
+            "poke out of bounds: line {line}, offset {offset} (buffer is {}x{})",
+            self.spec.num_lines,
+            self.spec.line_size
+        );
+        let idx = self.flat(line, offset);
+        self.data[idx] = Some(value);
+    }
+
     fn flat(&self, line: usize, offset: usize) -> usize {
         line * self.spec.line_size + offset
     }
@@ -235,6 +288,39 @@ mod tests {
         }
         b.flush_cycle();
         assert_eq!(b.stats().conflict_stall_cycles, 0);
+    }
+
+    #[test]
+    fn rebank_keeps_data_reshape_keeps_stats() {
+        let mut b = buf();
+        b.begin_cycle();
+        b.write(2, 1, 9);
+        b.flush_cycle();
+        // Same geometry, different banking: data survives.
+        b.rebank(BufferSpec::new(16, 4, 4, Banking::Horizontal));
+        assert_eq!(b.peek(2, 1), Some(9));
+        assert_eq!(b.spec().banking, Banking::Horizontal);
+        // New geometry: data is gone, stats survive.
+        b.reshape(BufferSpec::new(8, 8, 8, Banking::Horizontal));
+        assert_eq!(b.occupancy(), 0);
+        assert_eq!(b.spec().line_size, 8);
+        assert_eq!(b.stats().element_writes, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "rebank must preserve geometry")]
+    fn rebank_rejects_geometry_change() {
+        let mut b = buf();
+        b.rebank(BufferSpec::new(8, 4, 4, Banking::Horizontal));
+    }
+
+    #[test]
+    fn poke_stores_without_accounting() {
+        let mut b = buf();
+        b.poke(1, 1, 5);
+        assert_eq!(b.peek(1, 1), Some(5));
+        assert_eq!(b.stats().element_writes, 0);
+        assert_eq!(b.stats().line_writes, 0);
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub use buffer::FunctionalBuffer;
 pub use conflict::ConflictModel;
 pub use pingpong::PingPong;
 pub use stats::AccessStats;
-pub use store::LayoutStore;
+pub use store::{LayoutStore, LayoutView};
 
 use serde::{Deserialize, Serialize};
 

@@ -75,6 +75,16 @@ impl<T: Copy> PingPong<T> {
         }
     }
 
+    /// Both halves at once, `(active, shadow)` — the borrow a pipelined layer
+    /// needs: compute reads its iActs from the active half while BIRRD writes
+    /// oActs into the shadow half in the same simulated cycles.
+    pub fn split_mut(&mut self) -> (&mut FunctionalBuffer<T>, &mut FunctionalBuffer<T>) {
+        match self.active {
+            Half::Ping => (&mut self.ping, &mut self.pong),
+            Half::Pong => (&mut self.pong, &mut self.ping),
+        }
+    }
+
     /// Immutable view of the active half.
     pub fn active_ref(&self) -> &FunctionalBuffer<T> {
         match self.active {
@@ -166,5 +176,20 @@ mod tests {
     #[test]
     fn half_other_is_involutive() {
         assert_eq!(Half::Ping.other().other(), Half::Ping);
+    }
+
+    #[test]
+    fn split_mut_returns_active_then_shadow() {
+        let mut pp = PingPong::<i8>::new(spec());
+        {
+            let (active, shadow) = pp.split_mut();
+            active.write(0, 0, 1);
+            shadow.write(0, 0, 2);
+        }
+        assert_eq!(pp.active_ref().peek(0, 0), Some(1));
+        assert_eq!(pp.shadow_ref().peek(0, 0), Some(2));
+        pp.swap();
+        let (active, _) = pp.split_mut();
+        assert_eq!(active.peek(0, 0), Some(2));
     }
 }

@@ -35,6 +35,24 @@ impl AccessStats {
         self.conflict_stall_cycles += other.conflict_stall_cycles;
     }
 
+    /// Returns the delta relative to an earlier snapshot of the same counters
+    /// (saturating, so a stale baseline can never underflow). Simulators use
+    /// this to attribute a shared buffer's accesses to a phase: snapshot
+    /// before, subtract after — e.g. separating one pipeline layer's StaB
+    /// traffic from the accumulated network totals, or excluding the DMA fill.
+    pub fn since(&self, baseline: &AccessStats) -> AccessStats {
+        AccessStats {
+            element_reads: self.element_reads.saturating_sub(baseline.element_reads),
+            element_writes: self.element_writes.saturating_sub(baseline.element_writes),
+            line_reads: self.line_reads.saturating_sub(baseline.line_reads),
+            line_writes: self.line_writes.saturating_sub(baseline.line_writes),
+            active_cycles: self.active_cycles.saturating_sub(baseline.active_cycles),
+            conflict_stall_cycles: self
+                .conflict_stall_cycles
+                .saturating_sub(baseline.conflict_stall_cycles),
+        }
+    }
+
     /// Total lines moved (reads + writes).
     pub fn total_line_accesses(&self) -> u64 {
         self.line_reads + self.line_writes
@@ -91,6 +109,27 @@ mod tests {
         assert_eq!(c.total_line_accesses(), 3);
         assert_eq!(c.active_cycles, 8);
         assert!((c.stall_fraction() - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_returns_saturating_delta() {
+        let before = AccessStats {
+            element_reads: 10,
+            active_cycles: 5,
+            ..Default::default()
+        };
+        let after = AccessStats {
+            element_reads: 25,
+            element_writes: 3,
+            active_cycles: 9,
+            ..Default::default()
+        };
+        let delta = after.since(&before);
+        assert_eq!(delta.element_reads, 15);
+        assert_eq!(delta.element_writes, 3);
+        assert_eq!(delta.active_cycles, 4);
+        // Saturation instead of underflow.
+        assert_eq!(before.since(&after).element_reads, 0);
     }
 
     #[test]

@@ -108,6 +108,98 @@ impl<T: Copy> LayoutStore<T> {
     pub fn occupancy(&self) -> usize {
         self.buffer.occupancy()
     }
+
+    /// A borrowed layout-addressed view of this store's buffer.
+    pub fn view_mut(&mut self) -> LayoutView<'_, T> {
+        LayoutView {
+            buffer: &mut self.buffer,
+            layout: &self.layout,
+            dim_sizes: &self.dim_sizes,
+        }
+    }
+}
+
+/// A borrowed, layout-addressed view over a [`FunctionalBuffer`] someone else
+/// owns. This is how simulators address a *shared* physical buffer — e.g. one
+/// half of the StaB [`PingPong`](crate::pingpong::PingPong) — by tensor
+/// coordinate for the duration of one layer, without moving the buffer out of
+/// its owner: the layout and extents belong to the layer, the SRAM (data and
+/// statistics) belongs to the accelerator.
+#[derive(Debug)]
+pub struct LayoutView<'a, T> {
+    buffer: &'a mut FunctionalBuffer<T>,
+    layout: &'a Layout,
+    dim_sizes: &'a BTreeMap<Dim, usize>,
+}
+
+impl<'a, T: Copy> LayoutView<'a, T> {
+    /// Creates a view of `buffer` addressed by `layout` over `dim_sizes`.
+    pub fn new(
+        buffer: &'a mut FunctionalBuffer<T>,
+        layout: &'a Layout,
+        dim_sizes: &'a BTreeMap<Dim, usize>,
+    ) -> Self {
+        LayoutView {
+            buffer,
+            layout,
+            dim_sizes,
+        }
+    }
+
+    /// The layout governing this view.
+    pub fn layout(&self) -> &Layout {
+        self.layout
+    }
+
+    /// The tensor extents.
+    pub fn dim_sizes(&self) -> &BTreeMap<Dim, usize> {
+        self.dim_sizes
+    }
+
+    /// Accumulated access statistics of the underlying buffer.
+    pub fn stats(&self) -> &AccessStats {
+        self.buffer.stats()
+    }
+
+    /// Physical location of a coordinate under this view's layout.
+    pub fn location(&self, coord: &BTreeMap<Dim, usize>) -> Location {
+        self.layout.location(coord, self.dim_sizes)
+    }
+
+    /// Begins a new simulated cycle on the underlying buffer.
+    pub fn begin_cycle(&mut self) {
+        self.buffer.begin_cycle();
+    }
+
+    /// Flushes the current cycle's conflict accounting.
+    pub fn flush_cycle(&mut self) {
+        self.buffer.flush_cycle();
+    }
+
+    /// Writes a value at a logical coordinate.
+    pub fn write_coord(&mut self, coord: &BTreeMap<Dim, usize>, value: T) {
+        let loc = self.location(coord);
+        self.buffer.write(loc.line, loc.offset, value);
+    }
+
+    /// Reads the value at a logical coordinate (`None` if never written).
+    pub fn read_coord(&mut self, coord: &BTreeMap<Dim, usize>) -> Option<T> {
+        let loc = self.location(coord);
+        self.buffer.read(loc.line, loc.offset)
+    }
+
+    /// Peeks without recording an access.
+    pub fn peek_coord(&self, coord: &BTreeMap<Dim, usize>) -> Option<T> {
+        let loc = self.location(coord);
+        self.buffer.peek(loc.line, loc.offset)
+    }
+
+    /// Writes without recording an access (see
+    /// [`FunctionalBuffer::poke`](crate::buffer::FunctionalBuffer::poke)).
+    pub fn poke_coord(&mut self, coord: &BTreeMap<Dim, usize>, value: T) {
+        let loc = self.location(coord);
+        self.buffer.poke(loc.line, loc.offset, value);
+    }
 }
 
 /// Convenience constructor: sizes the buffer exactly to the tensor under the
@@ -209,6 +301,28 @@ mod tests {
         }
         store.flush_cycle();
         assert_eq!(store.stats().conflict_stall_cycles, 1);
+    }
+
+    #[test]
+    fn view_addresses_shared_buffer_like_the_store() {
+        // Writing through a store and reading through a borrowed view of the
+        // same buffer finds the same physical cells.
+        let layout: Layout = "HWC_C8".parse().unwrap();
+        let mut store = store_for_tensor::<i32>(layout, dims());
+        store.write_coord(&coord(&[(Dim::C, 3), (Dim::H, 1), (Dim::W, 2)]), 77);
+        let mut view = store.view_mut();
+        assert_eq!(
+            view.read_coord(&coord(&[(Dim::C, 3), (Dim::H, 1), (Dim::W, 2)])),
+            Some(77)
+        );
+        view.poke_coord(&coord(&[(Dim::C, 0), (Dim::H, 0), (Dim::W, 0)]), 5);
+        let writes = view.stats().element_writes;
+        assert_eq!(
+            view.peek_coord(&coord(&[(Dim::C, 0), (Dim::H, 0), (Dim::W, 0)])),
+            Some(5)
+        );
+        // poke is unaccounted.
+        assert_eq!(view.stats().element_writes, writes);
     }
 
     #[test]

@@ -1,31 +1,60 @@
 //! Smoke coverage for the runnable examples in `examples/`.
 //!
-//! All four examples are compiled by `cargo build --examples` (CI runs this
+//! All examples are compiled by `cargo build --examples` (CI runs this
 //! explicitly; `cargo test` also builds them because they are targets of the
-//! `feather-suite` member). On top of the compile check, this test executes
-//! `quickstart` end-to-end through Cargo and asserts it exits successfully
-//! and prints the golden-match line.
+//! `feather-suite` member). On top of the compile check, these tests execute
+//! `quickstart` and the pipelined `resnet50_coswitching` example end-to-end
+//! through Cargo and assert on their output.
 
 use std::process::Command;
+
+fn run_example(extra_args: &[&str], example: &str) -> (String, String, Option<i32>, bool) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let mut args = vec!["run", "--quiet"];
+    args.extend_from_slice(extra_args);
+    args.extend_from_slice(&["--example", example]);
+    let output = Command::new(cargo)
+        .args(&args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo run --example {example}: {e}"));
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+        output.status.code(),
+        output.status.success(),
+    )
+}
 
 /// Runs `cargo run --example quickstart` in the workspace and checks output.
 #[test]
 fn quickstart_runs_end_to_end() {
-    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
-    let output = Command::new(cargo)
-        .args(["run", "--quiet", "--example", "quickstart"])
-        .current_dir(env!("CARGO_MANIFEST_DIR"))
-        .output()
-        .expect("failed to spawn cargo run --example quickstart");
-    let stdout = String::from_utf8_lossy(&output.stdout);
-    let stderr = String::from_utf8_lossy(&output.stderr);
+    let (stdout, stderr, code, ok) = run_example(&[], "quickstart");
     assert!(
-        output.status.success(),
-        "quickstart exited with {:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
-        output.status.code(),
+        ok,
+        "quickstart exited with {code:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
     );
     assert!(
         stdout.contains("OK (matches reference convolution)"),
         "quickstart did not report the golden functional match\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+}
+
+/// Runs the pipelined ResNet-50 example (in release mode — the co-search
+/// planning phase is too slow unoptimized) and checks the pipeline summary.
+#[test]
+fn resnet50_coswitching_pipeline_runs_end_to_end() {
+    let (stdout, stderr, code, ok) = run_example(&["--release"], "resnet50_coswitching");
+    assert!(
+        ok,
+        "resnet50_coswitching exited with {code:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+    );
+    assert!(
+        stdout.contains("StaB swaps: 3"),
+        "expected one StaB swap per layer boundary\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("pipeline OK"),
+        "pipeline summary missing\nstdout:\n{stdout}\nstderr:\n{stderr}"
     );
 }
