@@ -17,6 +17,9 @@
 //!   intra-line `(dim, size)` interleaving, with parsing/printing of the
 //!   paper's textual notation and coordinate → (line, offset) mapping.
 //! * [`models`] — layer-by-layer definitions of the evaluation workloads.
+//! * [`graph`] — the tensor-DAG IR ([`Graph`](graph::Graph)) with explicit
+//!   producer→consumer edges, residual joins, and the real ResNet-50 topology
+//!   ([`graph::resnet50_graph`]).
 //! * [`energy`] — per-action energy constants used by the cost models.
 //! * [`tensor`] — dense INT8/INT32 tensors and reference conv/GEMM kernels.
 //!
@@ -42,6 +45,7 @@ pub mod dataflow;
 pub mod dims;
 pub mod energy;
 pub mod error;
+pub mod graph;
 pub mod layout;
 pub mod models;
 pub mod tensor;
@@ -50,6 +54,7 @@ pub mod workload;
 pub use dataflow::{Dataflow, LoopNest, ParallelDim, TemporalLoop};
 pub use dims::{DataType, Dim};
 pub use error::ArchError;
+pub use graph::{Graph, GraphSegment, Node, NodeId, NodeOp, TensorId};
 pub use layout::Layout;
 pub use workload::{ConvLayer, GemmLayer, Workload};
 

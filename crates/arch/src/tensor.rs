@@ -272,6 +272,48 @@ pub fn quantize_value(v: i32, scale_shift: u32, zero_point: i8) -> i8 {
     (scaled + zero_point as i32).clamp(i8::MIN as i32, i8::MAX as i32) as i8
 }
 
+/// Element-wise saturating INT8 add — the residual-join operation a graph
+/// executor performs on two quantized tensors at a shortcut merge point. The
+/// sum saturates at the INT8 boundary exactly like the hardware adder behind
+/// the quantization module would. Returns the joined tensor plus the number
+/// of elements that clamped (useful for join-quality reporting).
+///
+/// # Errors
+/// Returns [`ArchError::ShapeMismatch`] if the shapes differ.
+pub fn saturating_add_i8(
+    a: &Tensor4<i8>,
+    b: &Tensor4<i8>,
+) -> Result<(Tensor4<i8>, u64), ArchError> {
+    if a.shape() != b.shape() {
+        return Err(ArchError::ShapeMismatch(format!(
+            "residual add of mismatched shapes {:?} and {:?}",
+            a.shape(),
+            b.shape()
+        )));
+    }
+    let mut saturated = 0u64;
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| {
+            let wide = x as i16 + y as i16;
+            let clamped = wide.clamp(i8::MIN as i16, i8::MAX as i16);
+            if clamped != wide {
+                saturated += 1;
+            }
+            clamped as i8
+        })
+        .collect();
+    Ok((
+        Tensor4 {
+            shape: a.shape(),
+            data,
+        },
+        saturated,
+    ))
+}
+
 /// Quantizes an INT32 accumulator tensor back to INT8 with a power-of-two
 /// scale and zero point, mirroring FEATHER's quantization module (§III-C.4).
 pub fn quantize_to_i8(acc: &Tensor4<i32>, scale_shift: u32, zero_point: i8) -> Tensor4<i8> {
@@ -287,6 +329,23 @@ pub fn quantize_to_i8(acc: &Tensor4<i32>, scale_shift: u32, zero_point: i8) -> T
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn saturating_add_clamps_at_the_int8_boundary() {
+        let a = Tensor4::from_vec([1, 1, 1, 4], vec![100i8, -100, 127, -128]).unwrap();
+        let b = Tensor4::from_vec([1, 1, 1, 4], vec![100i8, -100, -1, 1]).unwrap();
+        let (sum, saturated) = saturating_add_i8(&a, &b).unwrap();
+        assert_eq!(sum.as_slice(), &[127, -128, 126, -127]);
+        assert_eq!(saturated, 2);
+        // Exact boundary values do not count as saturated.
+        let c = Tensor4::from_vec([1, 1, 1, 4], vec![27i8, -28, 0, 0]).unwrap();
+        let (sum, saturated) = saturating_add_i8(&a, &c).unwrap();
+        assert_eq!(sum.as_slice(), &[127, -128, 127, -128]);
+        assert_eq!(saturated, 0);
+        // Shape mismatch is rejected.
+        let d = Tensor4::<i8>::zeros([1, 1, 4, 1]);
+        assert!(saturating_add_i8(&a, &d).is_err());
+    }
 
     #[test]
     fn tensor_roundtrip_and_bounds() {

@@ -372,6 +372,21 @@ impl GemmLayer {
         })
     }
 
+    /// Lowers the GEMM into a 1×1 convolution that *streams the activations*:
+    /// the rows of `A` (`M × K`) become output-width positions (`W = M`), `K`
+    /// becomes the input-channel reduction, and `Bᵀ` provides the stationary
+    /// filters (an `[N, K, 1, 1]` weight tensor). Unlike [`GemmLayer::as_conv`]
+    /// (which streams `B`), this form lets a GEMM node in a model graph chain
+    /// from its producer's activations through the StaB like any convolution:
+    /// a `(1, K, 1, M)` activation tensor in, a `(1, N, 1, M)` tensor out.
+    pub fn as_activation_conv(&self) -> ConvLayer {
+        ConvLayer::new(1, self.n, self.k, 1, self.m, 1, 1).with_name(if self.name.is_empty() {
+            "gemm_as_activation_conv".to_string()
+        } else {
+            self.name.clone()
+        })
+    }
+
     /// Number of elements in one operand tensor (`A`, `B` or the output).
     pub fn operand_elems(&self, operand: Operand) -> u64 {
         match operand {
@@ -593,6 +608,18 @@ mod tests {
         let g = GemmLayer::new(64, 256, 128);
         let c = g.as_conv();
         assert_eq!(g.macs(), c.macs());
+    }
+
+    #[test]
+    fn gemm_as_activation_conv_streams_a_rows() {
+        let g = GemmLayer::new(64, 256, 128).with_name("fc");
+        let c = g.as_activation_conv();
+        assert_eq!(g.macs(), c.macs());
+        assert_eq!((c.n, c.m, c.c, c.h, c.w), (1, 128, 256, 1, 64));
+        assert_eq!(c.name, "fc");
+        // The activation tensor is (1, K, 1, M); the output (1, N, 1, M).
+        assert_eq!(c.output_width(), 64);
+        assert_eq!(c.output_height(), 1);
     }
 
     #[test]

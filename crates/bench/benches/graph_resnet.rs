@@ -1,0 +1,47 @@
+//! Criterion bench: whole-graph execution of the (scaled) ResNet-50 DAG —
+//! residual branches, scratch parking and joins included — against the
+//! layer-at-a-time baseline that stages and drains every layer through DRAM.
+//! The printed preamble compares the two executions' modeled DRAM traffic;
+//! criterion then measures their wall time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use feather::{FeatherConfig, GraphSession};
+use feather_arch::graph::resnet50_graph_scaled;
+use feather_arch::tensor::Tensor4;
+
+fn bench_graph_resnet(c: &mut Criterion) {
+    // Channels/16, spatial/16 keeps one full-graph iteration in the
+    // millisecond range while preserving all 53 convs and 16 joins.
+    let graph = resnet50_graph_scaled(16, 16);
+    let session = GraphSession::auto(FeatherConfig::new(8, 16), &graph)
+        .expect("scaled resnet50 graph compiles");
+    let [_, ch, h, w] = graph.tensor_shape(graph.input());
+    let iacts = Tensor4::random([1, ch, h, w], 7);
+    let weights = graph.random_weights(8);
+
+    // DRAM traffic comparison (identical on every iteration — print once).
+    let run = session.run(&iacts, &weights).expect("graph executes");
+    println!(
+        "graph_resnet DRAM activation traffic: pipelined {} B vs layer-at-a-time {} B \
+         ({:.0}% saved); shortcut scratch {} B, {} joins",
+        run.report.dram_activation_bytes(),
+        run.report.layer_at_a_time_activation_bytes(),
+        run.report.dram_activation_savings() * 100.0,
+        run.report.shortcut_bytes(),
+        run.report.joins.len(),
+    );
+    assert!(run.report.dram_activation_bytes() < run.report.layer_at_a_time_activation_bytes());
+
+    let mut group = c.benchmark_group("graph_resnet");
+    group.sample_size(10);
+    group.bench_function("graph_session", |b| {
+        b.iter(|| session.run(&iacts, &weights).unwrap())
+    });
+    group.bench_function("layer_at_a_time", |b| {
+        b.iter(|| session.run_layer_at_a_time(&iacts, &weights).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_resnet);
+criterion_main!(benches);

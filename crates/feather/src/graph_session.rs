@@ -1,0 +1,839 @@
+//! Whole-graph DAG execution: residual branches and joins over the pipelined
+//! ping/pong StaB.
+//!
+//! [`NetworkSession`] runs one *linear* chain of layers back-to-back. Real
+//! models are DAGs: ResNet's shortcut tensors branch off, survive several
+//! layers, and rejoin through an element-wise add. [`GraphSession`] closes
+//! that gap:
+//!
+//! 1. The [`Graph`] is partitioned into linear [`GraphSegment`]s (branch
+//!    fan-outs and joins always fall on segment boundaries).
+//! 2. Each segment runs through the existing ping/pong [`NetworkSession`]
+//!    core — intermediate activations inside a segment never leave the chip.
+//! 3. A tensor still needed after the pipeline moves on (a shortcut) is
+//!    parked in a [`ScratchRegion`] with its own traffic accounting.
+//! 4. At a join, the quantized INT8 main-path and shortcut tensors are added
+//!    with saturation ([`saturating_add_i8`]) before the result is staged
+//!    into the consumer segment in its preferred layout.
+//!
+//! DRAM accounting is graph-level: only the graph input is staged from DRAM
+//! and only the graph output drains back; every other boundary lives in the
+//! StaB handoff or the scratch region. [`run_graph_reference`] provides the
+//! naive golden executor (reference convolutions, explicit materialization of
+//! every tensor) that [`GraphSession::run`] is bit-identical to.
+//!
+//! # Example
+//!
+//! ```
+//! use feather::{FeatherConfig, GraphSession};
+//! use feather::graph_session::run_graph_reference;
+//! use feather_arch::graph::Graph;
+//! use feather_arch::tensor::Tensor4;
+//! use feather_arch::workload::ConvLayer;
+//!
+//! // conv → (identity ‖ conv) → add → conv: one residual join.
+//! let mut g = Graph::new("toy", [1, 4, 6, 6]);
+//! let trunk = g
+//!     .conv(g.input(), ConvLayer::new(1, 4, 4, 6, 6, 3, 3).with_padding(1).with_name("stem"))
+//!     .unwrap();
+//! let branch = g
+//!     .conv(trunk, ConvLayer::new(1, 4, 4, 6, 6, 1, 1).with_name("branch"))
+//!     .unwrap();
+//! let joined = g.add(trunk, branch, "join").unwrap();
+//! g.conv(joined, ConvLayer::new(1, 4, 4, 6, 6, 1, 1).with_name("head")).unwrap();
+//!
+//! let session = GraphSession::auto(FeatherConfig::new(4, 4), &g).unwrap();
+//! let iacts = Tensor4::random([1, 4, 6, 6], 1);
+//! let weights = g.random_weights(2);
+//! let run = session.run(&iacts, &weights).unwrap();
+//!
+//! let (shift, zero) = session.quantization();
+//! let golden = run_graph_reference(&g, &iacts, &weights, shift, zero).unwrap();
+//! assert_eq!(run.oacts, golden);
+//! assert_eq!(run.report.joins.len(), 1);
+//! ```
+
+use std::collections::BTreeMap;
+
+use feather_arch::dataflow::Dataflow;
+use feather_arch::energy::EnergyModel;
+use feather_arch::graph::{Graph, GraphSegment, Node, NodeId, NodeOp, TensorId};
+use feather_arch::layout::Layout;
+use feather_arch::tensor::{conv2d_reference, quantize_to_i8, saturating_add_i8, Tensor4};
+use feather_arch::workload::ConvLayer;
+use feather_arch::ArchError;
+use feather_memsim::ScratchRegion;
+
+use crate::config::FeatherConfig;
+use crate::mapping::LayerMapping;
+use crate::report::{GraphReport, GraphRun, JoinSummary, NetworkReport, SegmentSummary};
+use crate::session::{NetworkSession, DEFAULT_QUANT_SHIFT};
+
+/// Per-node scheduling callback used by the session builders: maps a
+/// conv-like node (and its execution convolution) to the `(dataflow, iAct
+/// layout)` it should run with (`None` dataflow → the default
+/// weight-stationary mapping).
+type SchedulePick<'a> =
+    &'a dyn Fn(&Node, &ConvLayer) -> Result<(Option<Dataflow>, Layout), ArchError>;
+
+/// One scheduled step of a graph execution plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    /// Run segment `i` of the segment list through its [`NetworkSession`].
+    Segment(usize),
+    /// Perform the residual add of the given node.
+    Join(NodeId),
+}
+
+/// A compiled segment: its graph span plus the pipeline session executing it.
+#[derive(Debug, Clone)]
+struct SegmentExec {
+    segment: GraphSegment,
+    session: NetworkSession,
+}
+
+/// A DAG executor over FEATHER's pipelined StaB. See the
+/// [module documentation](self) for the architectural story and an example.
+#[derive(Debug, Clone)]
+pub struct GraphSession {
+    config: FeatherConfig,
+    graph: Graph,
+    segments: Vec<SegmentExec>,
+    plan: Vec<Step>,
+    quant_shift: u32,
+    quant_zero: i8,
+    energy_model: EnergyModel,
+}
+
+impl GraphSession {
+    /// Builds a session with the default weight-stationary mapping and a
+    /// channels-last `HWC_C*` iAct layout per node (capped at the array
+    /// width). The go-to constructor when no co-searched plan is available.
+    ///
+    /// # Errors
+    /// Returns an error if the graph is invalid or a segment cannot be
+    /// compiled into a pipeline session.
+    pub fn auto(config: FeatherConfig, graph: &Graph) -> Result<Self, ArchError> {
+        Self::build(config, graph, &|_, conv| {
+            Ok((None, auto_layout(conv, &config)))
+        })
+    }
+
+    /// Builds a session from per-node `(dataflow, iAct layout)` schedules —
+    /// the shape `layoutloop`'s graph planner produces. Nodes absent from the
+    /// map (or whose scheduled layout is wider than the array allows) fall
+    /// back to the [`GraphSession::auto`] defaults.
+    ///
+    /// # Errors
+    /// Returns an error if the graph is invalid, a scheduled dataflow cannot
+    /// be projected onto FEATHER's controller, or a segment cannot be
+    /// compiled.
+    pub fn from_schedules(
+        config: FeatherConfig,
+        graph: &Graph,
+        schedules: &BTreeMap<NodeId, (Dataflow, Layout)>,
+    ) -> Result<Self, ArchError> {
+        Self::build(config, graph, &|node, conv| match schedules.get(&node.id) {
+            Some((df, layout)) if layout.line_size() <= config.cols => {
+                Ok((Some(df.clone()), layout.clone()))
+            }
+            _ => Ok((None, auto_layout(conv, &config))),
+        })
+    }
+
+    fn build(
+        config: FeatherConfig,
+        graph: &Graph,
+        pick: SchedulePick<'_>,
+    ) -> Result<Self, ArchError> {
+        graph.validate()?;
+        if graph.is_empty() {
+            return Err(ArchError::InvalidWorkload(
+                "a graph session needs at least one node".to_string(),
+            ));
+        }
+        let segments = graph.segments();
+
+        // Resolve every conv-like node's (dataflow, iAct layout) first: oAct
+        // layouts at segment boundaries are derived from *consumer* iAct
+        // layouts, possibly across a join.
+        let mut schedules: BTreeMap<NodeId, (Option<Dataflow>, Layout)> = BTreeMap::new();
+        for seg in &segments {
+            for &id in &seg.nodes {
+                let node = graph.node(id);
+                let conv = node
+                    .execution_conv()
+                    .expect("segments hold conv-like nodes");
+                schedules.insert(id, pick(node, &conv)?);
+            }
+        }
+
+        let mut compiled = Vec::with_capacity(segments.len());
+        for seg in &segments {
+            let mut steps = Vec::with_capacity(seg.nodes.len());
+            for (i, &id) in seg.nodes.iter().enumerate() {
+                let node = graph.node(id);
+                let conv = node
+                    .execution_conv()
+                    .expect("segments hold conv-like nodes");
+                let (dataflow, iact_layout) = schedules[&id].clone();
+                let oact_layout = match seg.nodes.get(i + 1) {
+                    Some(next) => schedules[next].1.as_producer_oact_layout(),
+                    None => boundary_oact_layout(graph, seg.output, &schedules, &conv, &config),
+                };
+                let mapping = match dataflow {
+                    Some(df) => {
+                        LayerMapping::from_dataflow(&conv, &config, &df, iact_layout, oact_layout)?
+                    }
+                    None => LayerMapping::weight_stationary_layouts(
+                        &conv,
+                        &config,
+                        iact_layout,
+                        oact_layout,
+                    ),
+                };
+                steps.push((conv, mapping));
+            }
+            compiled.push(SegmentExec {
+                segment: seg.clone(),
+                session: NetworkSession::from_mappings(config, steps)?,
+            });
+        }
+
+        // The execution plan: walk nodes topologically, entering a segment at
+        // its head (its whole chain runs back-to-back) and a join at its add.
+        let mut plan = Vec::new();
+        let head_of: BTreeMap<NodeId, usize> = compiled
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.segment.nodes[0], i))
+            .collect();
+        for node in graph.nodes() {
+            if node.op.is_add() {
+                plan.push(Step::Join(node.id));
+            } else if let Some(&si) = head_of.get(&node.id) {
+                plan.push(Step::Segment(si));
+            }
+        }
+
+        Ok(GraphSession {
+            config,
+            graph: graph.clone(),
+            segments: compiled,
+            plan,
+            quant_shift: DEFAULT_QUANT_SHIFT,
+            quant_zero: 0,
+            energy_model: EnergyModel::tsmc28(),
+        })
+    }
+
+    /// Overrides the boundary quantization parameters (builder style).
+    pub fn with_quantization(mut self, shift: u32, zero_point: i8) -> Self {
+        self.quant_shift = shift;
+        self.quant_zero = zero_point;
+        for seg in &mut self.segments {
+            seg.session = seg.session.clone().with_quantization(shift, zero_point);
+        }
+        self
+    }
+
+    /// The boundary quantization parameters `(shift, zero_point)`.
+    pub fn quantization(&self) -> (u32, i8) {
+        (self.quant_shift, self.quant_zero)
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> FeatherConfig {
+        self.config
+    }
+
+    /// The graph this session executes.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of linear segments the graph was partitioned into.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Executes the whole DAG. `weights` holds one tensor per node that
+    /// needs one ([`Node::weight_shape`]); pooling lowerings synthesize their
+    /// own window weights.
+    ///
+    /// # Errors
+    /// Returns an error on missing weights, operand shape mismatches, or an
+    /// unroutable BIRRD pattern.
+    pub fn run(
+        &self,
+        iacts: &Tensor4<i8>,
+        weights: &BTreeMap<NodeId, Tensor4<i8>>,
+    ) -> Result<GraphRun, ArchError> {
+        self.check_input(iacts)?;
+        let graph = &self.graph;
+        let mut state = RunState::new(graph, iacts.clone(), self.config.cols);
+        let mut segments = Vec::with_capacity(self.segments.len());
+        let mut joins = Vec::new();
+        let mut final_acc: Option<Tensor4<i32>> = None;
+
+        for step in &self.plan {
+            match *step {
+                Step::Segment(si) => {
+                    let exec = &self.segments[si];
+                    let seg = &exec.segment;
+                    let (input, input_from_scratch) = state.take(seg.input)?;
+                    let layer_weights = self.segment_weights(seg, weights)?;
+                    let run = exec.session.run(&input, &layer_weights)?;
+                    let is_graph_output = seg.output == graph.output();
+                    segments.push(SegmentSummary {
+                        nodes: seg
+                            .nodes
+                            .iter()
+                            .map(|&id| graph.node(id).name.clone())
+                            .collect(),
+                        report: self.adjust_report(seg, run.report, is_graph_output),
+                        input_from_scratch,
+                    });
+                    if is_graph_output {
+                        final_acc = Some(run.oacts.clone());
+                    }
+                    state.publish(
+                        seg.output,
+                        quantize_to_i8(&run.oacts, self.quant_shift, self.quant_zero),
+                    );
+                }
+                Step::Join(id) => {
+                    let node = graph.node(id);
+                    let (a, _) = state.take(node.inputs[0])?;
+                    let (b, _) = state.take(node.inputs[1])?;
+                    let (sum, saturated) = saturating_add_i8(&a, &b)?;
+                    joins.push(JoinSummary {
+                        name: node.name.clone(),
+                        elements: sum.len() as u64,
+                        saturated,
+                    });
+                    if node.output == graph.output() {
+                        final_acc = Some(widen(&sum));
+                    }
+                    state.publish(node.output, sum);
+                }
+            }
+        }
+
+        Ok(GraphRun {
+            oacts: final_acc.expect("the plan visits the output node"),
+            report: GraphReport {
+                segments,
+                joins,
+                scratch: *state.scratch.stats(),
+                scratch_peak_elems: state.scratch.peak_occupancy() as u64,
+            },
+        })
+    }
+
+    /// Runs the same graph layer-at-a-time: every segment through the
+    /// sequential [`NetworkSession::run_layer_at_a_time`] baseline (each layer
+    /// staging and draining through DRAM), joins applied on the materialized
+    /// tensors. Bit-identical to [`GraphSession::run`]; this is the golden
+    /// baseline the equivalence suite and the `graph_resnet` bench compare
+    /// against.
+    ///
+    /// # Errors
+    /// Same conditions as [`GraphSession::run`].
+    pub fn run_layer_at_a_time(
+        &self,
+        iacts: &Tensor4<i8>,
+        weights: &BTreeMap<NodeId, Tensor4<i8>>,
+    ) -> Result<Tensor4<i32>, ArchError> {
+        self.check_input(iacts)?;
+        let graph = &self.graph;
+        let mut values: BTreeMap<TensorId, Tensor4<i8>> = BTreeMap::new();
+        values.insert(graph.input(), iacts.clone());
+        let mut final_acc: Option<Tensor4<i32>> = None;
+        for step in &self.plan {
+            match *step {
+                Step::Segment(si) => {
+                    let exec = &self.segments[si];
+                    let seg = &exec.segment;
+                    let input = values
+                        .get(&seg.input)
+                        .expect("plan order materializes inputs first");
+                    let layer_weights = self.segment_weights(seg, weights)?;
+                    let acc = exec.session.run_layer_at_a_time(input, &layer_weights)?;
+                    values.insert(
+                        seg.output,
+                        quantize_to_i8(&acc, self.quant_shift, self.quant_zero),
+                    );
+                    if seg.output == graph.output() {
+                        final_acc = Some(acc);
+                    }
+                }
+                Step::Join(id) => {
+                    let node = graph.node(id);
+                    let (sum, _) =
+                        saturating_add_i8(&values[&node.inputs[0]], &values[&node.inputs[1]])?;
+                    if node.output == graph.output() {
+                        final_acc = Some(widen(&sum));
+                    }
+                    values.insert(node.output, sum);
+                }
+            }
+        }
+        Ok(final_acc.expect("the plan visits the output node"))
+    }
+
+    fn check_input(&self, iacts: &Tensor4<i8>) -> Result<(), ArchError> {
+        let expected = self.graph.tensor_shape(self.graph.input());
+        if iacts.shape() != expected {
+            return Err(ArchError::ShapeMismatch(format!(
+                "graph input shape {:?}, expected {:?}",
+                iacts.shape(),
+                expected
+            )));
+        }
+        Ok(())
+    }
+
+    /// Collects (or synthesizes) the per-layer weight tensors of a segment.
+    fn segment_weights(
+        &self,
+        seg: &GraphSegment,
+        weights: &BTreeMap<NodeId, Tensor4<i8>>,
+    ) -> Result<Vec<Tensor4<i8>>, ArchError> {
+        seg.nodes
+            .iter()
+            .map(|&id| {
+                let node = self.graph.node(id);
+                match &node.op {
+                    NodeOp::PoolAsConv(conv) => Ok(pool_window_weights(conv)),
+                    _ => weights.get(&id).cloned().ok_or_else(|| {
+                        ArchError::InvalidWorkload(format!(
+                            "no weight tensor supplied for node `{}`",
+                            node.name
+                        ))
+                    }),
+                }
+            })
+            .collect()
+    }
+
+    /// Rewrites a segment's [`NetworkReport`] for graph-level DRAM
+    /// accounting: interior boundary tensors stay on chip (StaB handoff or
+    /// scratch region), and pooling lowerings carry no weight traffic — their
+    /// window constants are synthesized, not streamed.
+    fn adjust_report(
+        &self,
+        seg: &GraphSegment,
+        mut report: NetworkReport,
+        is_graph_output: bool,
+    ) -> NetworkReport {
+        let is_graph_input = seg.input == self.graph.input();
+        let mut dirty: Vec<usize> = Vec::new();
+        if !is_graph_input {
+            report.layers[0].report.dram_iact_bytes = 0;
+            dirty.push(0);
+        }
+        if !is_graph_output {
+            let last = report.layers.len() - 1;
+            report.layers[last].report.dram_oact_bytes = 0;
+            dirty.push(last);
+        }
+        for (i, &id) in seg.nodes.iter().enumerate() {
+            if matches!(self.graph.node(id).op, NodeOp::PoolAsConv(_)) {
+                report.layers[i].report.dram_weight_bytes = 0;
+                dirty.push(i);
+            }
+        }
+        for i in dirty {
+            let layer = &mut report.layers[i].report;
+            layer.energy.dram_pj = self.energy_model.dram_pj(layer.dram_bytes());
+        }
+        report
+    }
+}
+
+/// The default channels-last iAct layout for a layer, capped at the array
+/// width.
+fn auto_layout(conv: &ConvLayer, config: &FeatherConfig) -> Layout {
+    format!("HWC_C{}", conv.c.min(config.cols))
+        .parse()
+        .expect("generated layout is valid")
+}
+
+/// The oAct layout for a segment's last layer: the downstream consumer's
+/// preferred iAct layout (looking through joins), or a natural `MPQ_Q*`
+/// drain layout for the graph output.
+fn boundary_oact_layout(
+    graph: &Graph,
+    output: TensorId,
+    schedules: &BTreeMap<NodeId, (Option<Dataflow>, Layout)>,
+    conv: &ConvLayer,
+    config: &FeatherConfig,
+) -> Layout {
+    let mut frontier = vec![output];
+    while let Some(t) = frontier.pop() {
+        let consumers = graph.consumers(t);
+        for &c in &consumers {
+            let node = graph.node(c);
+            if node.is_conv_like() {
+                if let Some((_, layout)) = schedules.get(&c) {
+                    return layout.as_producer_oact_layout();
+                }
+            }
+        }
+        for &c in &consumers {
+            let node = graph.node(c);
+            if node.op.is_add() {
+                frontier.push(node.output);
+            }
+        }
+    }
+    format!("MPQ_Q{}", conv.output_width().min(config.cols))
+        .parse()
+        .expect("generated layout is valid")
+}
+
+/// All-ones (depthwise) or channel-identity (standard) window weights for a
+/// pooling-as-convolution lowering: each output pixel becomes the plain window
+/// sum, whose `1/w²` average scaling folds into the boundary quantization.
+fn pool_window_weights(conv: &ConvLayer) -> Tensor4<i8> {
+    if conv.is_depthwise() {
+        Tensor4::from_fn([conv.c, 1, conv.r, conv.s], |_, _, _, _| 1)
+    } else {
+        Tensor4::from_fn([conv.m, conv.c, conv.r, conv.s], |m, c, _, _| {
+            i8::from(m == c)
+        })
+    }
+}
+
+/// Widens an INT8 tensor to the INT32 accumulator domain (for graphs whose
+/// output node is a join).
+fn widen(t: &Tensor4<i8>) -> Tensor4<i32> {
+    let [a, b, c, d] = t.shape();
+    Tensor4::from_fn([a, b, c, d], |i, j, k, l| t.get(i, j, k, l) as i32)
+}
+
+/// Tracks where every live tensor currently resides during a graph run: the
+/// single *fresh* tensor sits in the StaB (the last pipeline output), and
+/// everything still needed beyond that is parked in the shortcut scratch
+/// region.
+struct RunState<'g> {
+    graph: &'g Graph,
+    scratch: ScratchRegion<i8>,
+    /// The tensor most recently produced, still in the StaB active half.
+    fresh: Option<(TensorId, Tensor4<i8>)>,
+    /// Consumers not yet served, per tensor.
+    remaining: BTreeMap<TensorId, usize>,
+}
+
+impl<'g> RunState<'g> {
+    fn new(graph: &'g Graph, input: Tensor4<i8>, line_size: usize) -> Self {
+        let mut remaining = BTreeMap::new();
+        let mut count = |t: TensorId| {
+            remaining.insert(t, graph.consumers(t).len());
+        };
+        count(graph.input());
+        for node in graph.nodes() {
+            count(node.output);
+        }
+        RunState {
+            graph,
+            scratch: ScratchRegion::new(line_size.max(1)),
+            fresh: Some((graph.input(), input)),
+            remaining,
+        }
+    }
+
+    /// Hands a tensor to its next consumer. Returns the data plus whether it
+    /// came out of the scratch region (vs. the fresh StaB handoff). The last
+    /// consumer takes ownership (no copy); earlier consumers get a clone.
+    fn take(&mut self, t: TensorId) -> Result<(Tensor4<i8>, bool), ArchError> {
+        let uses = self
+            .remaining
+            .get_mut(&t)
+            .ok_or_else(|| ArchError::InvalidWorkload(format!("unknown tensor {t}")))?;
+        *uses = uses.saturating_sub(1);
+        let uses_left = *uses;
+        if let Some((fresh_t, data)) = &self.fresh {
+            if *fresh_t == t {
+                return Ok(if uses_left == 0 {
+                    (self.fresh.take().expect("just matched").1, false)
+                } else {
+                    (data.clone(), false)
+                });
+            }
+        }
+        let key = t.to_string();
+        let missing = || {
+            ArchError::InvalidWorkload(format!(
+                "tensor {t} consumed before being produced or after being freed"
+            ))
+        };
+        // `fetch` counts the read; the final consumer then moves the parked
+        // allocation out instead of copying it.
+        let data = if uses_left == 0 {
+            self.scratch.fetch(&key).ok_or_else(missing)?;
+            self.scratch.release(&key).expect("fetched above")
+        } else {
+            self.scratch.fetch(&key).ok_or_else(missing)?.to_vec()
+        };
+        let shape = self.graph.tensor_shape(t);
+        Ok((Tensor4::from_vec(shape, data)?, true))
+    }
+
+    /// Installs a newly produced tensor as the fresh StaB resident. The
+    /// previous fresh tensor is parked in the scratch region if it still has
+    /// consumers waiting (it is a shortcut crossing this production).
+    fn publish(&mut self, t: TensorId, data: Tensor4<i8>) {
+        if let Some((old_t, old_data)) = self.fresh.take() {
+            if self.remaining.get(&old_t).copied().unwrap_or(0) > 0 {
+                self.scratch
+                    .park(old_t.to_string(), old_data.as_slice().to_vec());
+            }
+        }
+        self.fresh = Some((t, data));
+    }
+}
+
+/// Executes a graph naively with the golden reference kernels: every tensor
+/// materialized, every conv through [`conv2d_reference`], every intermediate
+/// quantized to INT8, every join a saturating add — exactly the semantics
+/// [`GraphSession::run`] implements on the simulated hardware. Returns the
+/// output node's INT32 accumulators (or the widened join result).
+///
+/// # Errors
+/// Returns an error on missing weights or shape mismatches.
+pub fn run_graph_reference(
+    graph: &Graph,
+    iacts: &Tensor4<i8>,
+    weights: &BTreeMap<NodeId, Tensor4<i8>>,
+    quant_shift: u32,
+    quant_zero: i8,
+) -> Result<Tensor4<i32>, ArchError> {
+    let mut values: BTreeMap<TensorId, Tensor4<i8>> = BTreeMap::new();
+    values.insert(graph.input(), iacts.clone());
+    let mut final_acc: Option<Tensor4<i32>> = None;
+    for node in graph.nodes() {
+        if let Some(conv) = node.execution_conv() {
+            let w = match &node.op {
+                NodeOp::PoolAsConv(c) => pool_window_weights(c),
+                _ => weights.get(&node.id).cloned().ok_or_else(|| {
+                    ArchError::InvalidWorkload(format!(
+                        "no weight tensor supplied for node `{}`",
+                        node.name
+                    ))
+                })?,
+            };
+            let input = &values[&node.inputs[0]];
+            let acc = conv2d_reference(&conv, input, &w)?;
+            values.insert(node.output, quantize_to_i8(&acc, quant_shift, quant_zero));
+            if node.output == graph.output() {
+                final_acc = Some(acc);
+            }
+        } else {
+            let (sum, _) = saturating_add_i8(&values[&node.inputs[0]], &values[&node.inputs[1]])?;
+            if node.output == graph.output() {
+                final_acc = Some(widen(&sum));
+            }
+            values.insert(node.output, sum);
+        }
+    }
+    final_acc
+        .ok_or_else(|| ArchError::InvalidWorkload(format!("graph `{}` has no nodes", graph.name)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// conv → (identity ‖ proj conv) → add → conv, plus a second identity
+    /// join — two joins, one fan-out of each flavor.
+    fn residual_graph() -> Graph {
+        let mut g = Graph::new("residual", [1, 4, 6, 6]);
+        let stem = g
+            .conv(
+                g.input(),
+                ConvLayer::new(1, 4, 4, 6, 6, 3, 3)
+                    .with_padding(1)
+                    .with_name("stem"),
+            )
+            .unwrap();
+        let main = g
+            .conv(
+                stem,
+                ConvLayer::new(1, 8, 4, 6, 6, 1, 1).with_name("b0_main"),
+            )
+            .unwrap();
+        let proj = g
+            .conv(
+                stem,
+                ConvLayer::new(1, 8, 4, 6, 6, 1, 1).with_name("b0_proj"),
+            )
+            .unwrap();
+        let j0 = g.add(main, proj, "b0_add").unwrap();
+        let main1 = g
+            .conv(
+                j0,
+                ConvLayer::new(1, 8, 8, 6, 6, 3, 3)
+                    .with_padding(1)
+                    .with_name("b1_main"),
+            )
+            .unwrap();
+        let j1 = g.add(main1, j0, "b1_add").unwrap();
+        g.conv(j1, ConvLayer::new(1, 4, 8, 6, 6, 1, 1).with_name("head"))
+            .unwrap();
+        g
+    }
+
+    fn session_and_operands() -> (
+        GraphSession,
+        Graph,
+        Tensor4<i8>,
+        BTreeMap<NodeId, Tensor4<i8>>,
+    ) {
+        let g = residual_graph();
+        let session = GraphSession::auto(FeatherConfig::new(4, 8), &g).unwrap();
+        let iacts = Tensor4::random([1, 4, 6, 6], 11);
+        let weights = g.random_weights(12);
+        (session, g, iacts, weights)
+    }
+
+    #[test]
+    fn graph_run_matches_reference_and_layer_at_a_time() {
+        let (session, g, iacts, weights) = session_and_operands();
+        let run = session.run(&iacts, &weights).unwrap();
+        let (shift, zero) = session.quantization();
+        let golden = run_graph_reference(&g, &iacts, &weights, shift, zero).unwrap();
+        assert_eq!(run.oacts, golden);
+        let sequential = session.run_layer_at_a_time(&iacts, &weights).unwrap();
+        assert_eq!(run.oacts, sequential);
+    }
+
+    #[test]
+    fn joins_and_segments_are_reported() {
+        let (session, _, iacts, weights) = session_and_operands();
+        let run = session.run(&iacts, &weights).unwrap();
+        // Segments: [stem], [b0_main], [b0_proj], [b1_main], [head].
+        assert_eq!(run.report.segments.len(), 5);
+        assert_eq!(run.report.joins.len(), 2);
+        for join in &run.report.joins {
+            assert_eq!(join.elements, 8 * 6 * 6);
+        }
+        // Shortcuts moved through the scratch region.
+        assert!(run.report.scratch.element_writes > 0);
+        assert!(run.report.scratch.element_reads > 0);
+        assert!(run.report.scratch_peak_elems >= 8 * 6 * 6);
+        assert!(run.report.shortcut_bytes() > 0);
+        // One StaB swap per executed layer.
+        assert_eq!(run.report.stab_swaps(), 5);
+    }
+
+    #[test]
+    fn graph_dram_accounting_only_charges_the_graph_edges() {
+        let (session, _, iacts, weights) = session_and_operands();
+        let run = session.run(&iacts, &weights).unwrap();
+        let report = &run.report;
+        let layers: Vec<_> = report.layers().collect();
+        // Only the first layer stages iActs from DRAM and only the last
+        // drains oActs; everything between stayed on chip.
+        for (i, layer) in layers.iter().enumerate() {
+            if i == 0 {
+                assert!(layer.report.dram_iact_bytes > 0, "{}", layer.name);
+            } else {
+                assert_eq!(layer.report.dram_iact_bytes, 0, "{}", layer.name);
+            }
+            if i + 1 == layers.len() {
+                assert!(layer.report.dram_oact_bytes > 0, "{}", layer.name);
+            } else {
+                assert_eq!(layer.report.dram_oact_bytes, 0, "{}", layer.name);
+            }
+        }
+        assert!(report.dram_activation_bytes() < report.layer_at_a_time_activation_bytes());
+        assert!(report.dram_activation_savings() > 0.0);
+        let pes = session.config().num_pes();
+        let u = report.utilization(pes);
+        assert!(u > 0.0 && u <= 1.0);
+        assert!(report.total_energy_pj() > 0.0);
+    }
+
+    #[test]
+    fn graph_ending_in_a_join_returns_the_widened_sum() {
+        let mut g = Graph::new("join_out", [1, 4, 4, 4]);
+        let a = g
+            .conv(
+                g.input(),
+                ConvLayer::new(1, 4, 4, 4, 4, 1, 1).with_name("a"),
+            )
+            .unwrap();
+        let b = g
+            .conv(a, ConvLayer::new(1, 4, 4, 4, 4, 1, 1).with_name("b"))
+            .unwrap();
+        g.add(a, b, "out_add").unwrap();
+        let session = GraphSession::auto(FeatherConfig::new(4, 4), &g).unwrap();
+        let iacts = Tensor4::random([1, 4, 4, 4], 3);
+        let weights = g.random_weights(4);
+        let run = session.run(&iacts, &weights).unwrap();
+        let golden = run_graph_reference(&g, &iacts, &weights, DEFAULT_QUANT_SHIFT, 0).unwrap();
+        assert_eq!(run.oacts, golden);
+        // The widened sum stays inside the INT8 domain.
+        assert!(run
+            .oacts
+            .as_slice()
+            .iter()
+            .all(|&v| v >= i8::MIN as i32 && v <= i8::MAX as i32));
+    }
+
+    #[test]
+    fn missing_weights_are_reported_by_node_name() {
+        let (session, _, iacts, mut weights) = session_and_operands();
+        let missing = *weights.keys().nth(2).unwrap();
+        weights.remove(&missing);
+        let err = session.run(&iacts, &weights).unwrap_err();
+        assert!(err.to_string().contains("no weight tensor"), "{err}");
+    }
+
+    #[test]
+    fn wrong_input_shape_rejected() {
+        let (session, _, _, weights) = session_and_operands();
+        let bad = Tensor4::random([1, 4, 5, 5], 1);
+        assert!(session.run(&bad, &weights).is_err());
+    }
+
+    #[test]
+    fn pool_lowerings_carry_no_weight_traffic() {
+        let mut g = Graph::new("pooled", [1, 4, 8, 8]);
+        let c = g
+            .conv(
+                g.input(),
+                ConvLayer::new(1, 8, 4, 8, 8, 3, 3)
+                    .with_padding(1)
+                    .with_name("conv"),
+            )
+            .unwrap();
+        let p = g.avgpool_as_conv(c, 8, 1, 0, "gap").unwrap();
+        g.gemm(
+            p,
+            feather_arch::workload::GemmLayer::new(1, 8, 6).with_name("fc"),
+        )
+        .unwrap();
+        let session = GraphSession::auto(FeatherConfig::new(4, 4), &g).unwrap();
+        let iacts = Tensor4::random([1, 4, 8, 8], 5);
+        let weights = g.random_weights(6);
+        let run = session.run(&iacts, &weights).unwrap();
+        let (shift, zero) = session.quantization();
+        let golden = run_graph_reference(&g, &iacts, &weights, shift, zero).unwrap();
+        assert_eq!(run.oacts, golden);
+        let pool_layer = run
+            .report
+            .layers()
+            .find(|l| l.name == "gap")
+            .expect("pool layer reported");
+        assert_eq!(pool_layer.report.dram_weight_bytes, 0);
+        // The conv and FC do stream weights.
+        assert!(run
+            .report
+            .layers()
+            .filter(|l| l.name != "gap")
+            .all(|l| l.report.dram_weight_bytes > 0));
+    }
+}

@@ -19,7 +19,11 @@
 //! [`Feather::execute_gemm`]; whole layer chains pipeline back-to-back
 //! through the ping/pong StaB via [`session::NetworkSession`], which is where
 //! RIR pays off: intermediate activations are reduced directly into the next
-//! layer's layout and never leave the chip.
+//! layer's layout and never leave the chip. Full model *graphs* — residual
+//! branches and joins included — execute through
+//! [`graph_session::GraphSession`], which schedules the tensor DAG over the
+//! same pipeline core, parks shortcut tensors in an on-chip scratch region
+//! and performs the quantized residual adds at join points.
 //!
 //! # Example
 //!
@@ -47,12 +51,17 @@
 
 pub mod accelerator;
 pub mod config;
+pub mod graph_session;
 pub mod mapping;
 pub mod report;
 pub mod session;
 
 pub use accelerator::Feather;
 pub use config::FeatherConfig;
+pub use graph_session::GraphSession;
 pub use mapping::LayerMapping;
-pub use report::{LayerRun, LayerSummary, NetworkReport, NetworkRun, RunReport};
+pub use report::{
+    GraphReport, GraphRun, JoinSummary, LayerRun, LayerSummary, NetworkReport, NetworkRun,
+    RunReport, SegmentSummary,
+};
 pub use session::NetworkSession;

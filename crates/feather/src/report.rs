@@ -172,6 +172,139 @@ pub struct NetworkRun {
     pub report: NetworkReport,
 }
 
+/// One linear segment's entry in a [`GraphReport`]: the pipelined
+/// [`NetworkReport`] of its layers, with graph-level DRAM accounting (an
+/// intermediate segment's boundary tensors stay on chip — in the StaB
+/// ping/pong handoff or the shortcut scratch region — so only the graph's
+/// true input/output segments carry activation DRAM traffic).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentSummary {
+    /// Names of the nodes executed, in order.
+    pub nodes: Vec<String>,
+    /// The segment's pipelined execution report.
+    pub report: NetworkReport,
+    /// `true` when the segment's input was fetched from the shortcut scratch
+    /// region rather than handed over in the StaB (projection branches).
+    pub input_from_scratch: bool,
+}
+
+/// One residual join's entry in a [`GraphReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JoinSummary {
+    /// The add node's name.
+    pub name: String,
+    /// Elements joined.
+    pub elements: u64,
+    /// Elements that saturated at the INT8 boundary.
+    pub saturated: u64,
+}
+
+/// Aggregate accounting for a whole-graph execution
+/// ([`GraphSession`](crate::graph_session::GraphSession)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphReport {
+    /// Per-segment entries, in execution order.
+    pub segments: Vec<SegmentSummary>,
+    /// Per-join entries, in execution order.
+    pub joins: Vec<JoinSummary>,
+    /// Traffic of the shortcut scratch region (element counts are bytes for
+    /// the INT8 tensors parked there).
+    pub scratch: AccessStats,
+    /// High-water mark of the scratch region in elements — the capacity a
+    /// real shortcut SRAM would need.
+    pub scratch_peak_elems: u64,
+}
+
+impl GraphReport {
+    /// Iterates over every executed layer's summary, across all segments.
+    pub fn layers(&self) -> impl Iterator<Item = &LayerSummary> {
+        self.segments.iter().flat_map(|s| s.report.layers.iter())
+    }
+
+    /// Total cycles across all segments.
+    pub fn total_cycles(&self) -> u64 {
+        self.segments.iter().map(|s| s.report.total_cycles()).sum()
+    }
+
+    /// Total useful MACs across all segments.
+    pub fn total_macs(&self) -> u64 {
+        self.segments.iter().map(|s| s.report.total_macs()).sum()
+    }
+
+    /// Total StaB ping/pong swaps (one per executed layer).
+    pub fn stab_swaps(&self) -> u64 {
+        self.segments.iter().map(|s| s.report.stab_swaps).sum()
+    }
+
+    /// Total energy in pJ.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(|s| s.report.total_energy_pj())
+            .sum()
+    }
+
+    /// Total DRAM traffic of the graph execution.
+    pub fn dram_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.report.dram_bytes()).sum()
+    }
+
+    /// Activation DRAM traffic: only the graph input staging and the graph
+    /// output drain (every other boundary stayed on chip).
+    pub fn dram_activation_bytes(&self) -> u64 {
+        self.segments
+            .iter()
+            .map(|s| s.report.dram_activation_bytes())
+            .sum()
+    }
+
+    /// Activation DRAM traffic a layer-at-a-time execution would pay (every
+    /// layer staging its iActs from DRAM and draining its oActs back).
+    pub fn layer_at_a_time_activation_bytes(&self) -> u64 {
+        self.segments
+            .iter()
+            .map(|s| s.report.layer_at_a_time_activation_bytes())
+            .sum()
+    }
+
+    /// Fraction of activation DRAM traffic eliminated relative to
+    /// layer-at-a-time execution.
+    pub fn dram_activation_savings(&self) -> f64 {
+        let baseline = self.layer_at_a_time_activation_bytes();
+        if baseline == 0 {
+            return 0.0;
+        }
+        1.0 - self.dram_activation_bytes() as f64 / baseline as f64
+    }
+
+    /// Bytes moved through the shortcut scratch region (INT8 parks + fetches).
+    pub fn shortcut_bytes(&self) -> u64 {
+        self.scratch.element_writes + self.scratch.element_reads
+    }
+
+    /// Total residual-add elements that saturated at the INT8 boundary.
+    pub fn saturated_join_elements(&self) -> u64 {
+        self.joins.iter().map(|j| j.saturated).sum()
+    }
+
+    /// MAC-per-PE-cycle utilization over the whole run.
+    pub fn utilization(&self, num_pes: usize) -> f64 {
+        let denom = self.total_cycles().max(1) as f64 * num_pes.max(1) as f64;
+        (self.total_macs() as f64 / denom).min(1.0)
+    }
+}
+
+/// The graph output tensor plus the aggregate report of a DAG execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphRun {
+    /// The output node's activations: INT32 accumulators (pre-quantization)
+    /// when the graph ends in a conv-like node, or the widened INT8 join
+    /// result when it ends in a residual add.
+    pub oacts: Tensor4<i32>,
+    /// Aggregate per-segment + per-join accounting.
+    pub report: GraphReport,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,7 +15,7 @@ use feather_arch::workload::Workload;
 use feather_arch::ArchError;
 
 use crate::arch::ArchSpec;
-use crate::cosearch::CoSearchResult;
+use crate::cosearch::{CoSearchResult, CoSearchTable};
 use crate::mapper::MapperConfig;
 
 /// A name-agnostic signature of a co-search problem.
@@ -47,11 +47,31 @@ fn cache_key(
     )
 }
 
-/// A memo table for [`CoSearchResult`]s, keyed by
-/// (architecture, layer shape, predecessor layout, mapper settings, seed).
+/// A name-agnostic signature of a *predecessor-independent* co-search table
+/// problem: the same as [`cache_key`] minus the predecessor layout, which a
+/// [`CoSearchTable`] answers for every predecessor at once.
+pub(crate) fn table_key(
+    arch: &ArchSpec,
+    workload: &Workload,
+    mapper: &MapperConfig,
+    seed: u64,
+) -> String {
+    cache_key(arch, workload, None, mapper, seed)
+}
+
+/// A memo table for co-search problems, keyed by
+/// (architecture, layer shape, mapper settings, seed):
+///
+/// * `entries` memoize single [`CoSearchResult`]s per predecessor layout
+///   (the original, finer-grained form — see [`CoSearchCache::lookup`]);
+/// * `tables` memoize whole [`CoSearchTable`]s, which answer the co-search
+///   for *every* predecessor layout at once (the form the network/graph
+///   planners use — repeated shapes hit regardless of how the chained
+///   predecessor layouts differ).
 #[derive(Debug, Clone, Default)]
 pub struct CoSearchCache {
     entries: BTreeMap<String, CoSearchResult>,
+    tables: BTreeMap<String, CoSearchTable>,
     hits: u64,
     misses: u64,
 }
@@ -144,6 +164,49 @@ impl CoSearchCache {
         result: CoSearchResult,
     ) {
         let key = cache_key(arch, workload, prev_layout, mapper, seed);
+        self.entries.insert(key, result);
+    }
+
+    /// Number of whole co-search tables stored.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Looks at a stored table without touching the hit/miss counters (the
+    /// planners count at problem-collection time, before computing missing
+    /// tables in parallel).
+    pub(crate) fn peek_table(&self, key: &str) -> Option<&CoSearchTable> {
+        self.tables.get(key)
+    }
+
+    /// Stores a computed table under its [`table_key`].
+    pub(crate) fn insert_table(&mut self, key: String, table: CoSearchTable) {
+        self.tables.insert(key, table);
+    }
+
+    /// Records a lookup served from the cache (or from a table another layer
+    /// of the same planning call is about to compute).
+    pub(crate) fn record_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records a lookup that needs a fresh co-search.
+    pub(crate) fn record_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Iterates over the raw `(key, result)` entries (for persistence).
+    pub(crate) fn entries(&self) -> impl Iterator<Item = (&String, &CoSearchResult)> {
+        self.entries.iter()
+    }
+
+    /// Iterates over the raw `(key, table)` entries (for persistence).
+    pub(crate) fn table_entries(&self) -> impl Iterator<Item = (&String, &CoSearchTable)> {
+        self.tables.iter()
+    }
+
+    /// Inserts a raw entry by key (for persistence).
+    pub(crate) fn insert_raw(&mut self, key: String, result: CoSearchResult) {
         self.entries.insert(key, result);
     }
 }

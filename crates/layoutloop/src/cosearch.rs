@@ -106,6 +106,133 @@ pub fn co_search_with(
     })
 }
 
+/// Best dataflow for one candidate layout, evaluated under both possible
+/// predecessor relations. [`evaluate`] consults the predecessor layout only
+/// through the boolean `prev != layout`, so two evaluations per `(dataflow,
+/// layout)` pair — *stay* (no reorder needed) and *switch* (reorder penalty
+/// applied) — answer the co-search exhaustively for **every** possible
+/// predecessor. This is what makes layer-parallel planning exact: tables are
+/// predecessor-independent and can be computed for all layers concurrently,
+/// with the sequential layout-chaining pass reduced to cheap table lookups.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayoutChoice {
+    /// The candidate iAct layout.
+    pub layout: Layout,
+    /// Best result when the predecessor already produces `layout` (or there
+    /// is no predecessor): no reorder cost.
+    pub stay: CoSearchResult,
+    /// Best result when the predecessor produces any *other* layout: the
+    /// architecture's reordering capability prices the conversion.
+    pub switch: CoSearchResult,
+}
+
+/// The full per-layout answer table of one layer's co-search problem.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CoSearchTable {
+    /// One entry per candidate layout that admits at least one valid dataflow.
+    pub choices: Vec<LayoutChoice>,
+}
+
+impl CoSearchTable {
+    /// Answers the co-search for a concrete predecessor constraint: per
+    /// layout, pick the *stay* result when the predecessor matches (or is
+    /// absent) and the *switch* result otherwise, then take the lowest-EDP
+    /// layout. The returned evaluation is relabeled to `layer_name` (tables
+    /// are shape-keyed, not name-keyed).
+    pub fn select(&self, layer_name: &str, prev: Option<&Layout>) -> Option<CoSearchResult> {
+        let mut best: Option<&CoSearchResult> = None;
+        for choice in &self.choices {
+            let candidate = match prev {
+                Some(p) if *p != choice.layout => &choice.switch,
+                _ => &choice.stay,
+            };
+            let better = best
+                .map(|b| candidate.evaluation.edp < b.evaluation.edp)
+                .unwrap_or(true);
+            if better {
+                best = Some(candidate);
+            }
+        }
+        best.cloned().map(|mut result| {
+            result.evaluation.layer = layer_name.to_string();
+            result
+        })
+    }
+}
+
+/// Any layout different from `l`, used to price the *switch* variant (only
+/// the inequality matters to [`evaluate`], not the concrete value).
+fn different_layout(l: &Layout) -> Layout {
+    let a: Layout = "HWC_C1".parse().expect("constant layout parses");
+    if &a != l {
+        a
+    } else {
+        "HWC_W1".parse().expect("constant layout parses")
+    }
+}
+
+/// Computes the full predecessor-independent [`CoSearchTable`] for one layer:
+/// the layout candidates are swept in parallel (scoped threads), and each
+/// `(dataflow, layout)` pair is evaluated in both predecessor variants.
+///
+/// # Errors
+/// Returns an error if the workload itself is malformed. An empty table (no
+/// valid pair at all) is reported at selection time.
+pub fn co_search_table(
+    arch: &ArchSpec,
+    workload: &Workload,
+    mapper: &MapperConfig,
+    seed: u64,
+) -> Result<CoSearchTable, ArchError> {
+    workload.validate()?;
+    let dataflows = search_dataflows(arch, workload, mapper);
+    let layouts = arch.layout_policy.candidates();
+
+    let choices: Vec<LayoutChoice> = std::thread::scope(|scope| {
+        let handles: Vec<_> = layouts
+            .iter()
+            .map(|layout| {
+                let dataflows = &dataflows;
+                scope.spawn(move || {
+                    let other = different_layout(layout);
+                    let mut stay: Option<CoSearchResult> = None;
+                    let mut switch: Option<CoSearchResult> = None;
+                    for df in dataflows {
+                        let consider =
+                            |slot: &mut Option<CoSearchResult>, prev: Option<&Layout>| {
+                                if let Ok(eval) = evaluate(arch, workload, df, layout, prev, seed) {
+                                    let better = slot
+                                        .as_ref()
+                                        .map(|b| eval.edp < b.evaluation.edp)
+                                        .unwrap_or(true);
+                                    if better {
+                                        *slot = Some(CoSearchResult {
+                                            dataflow: df.clone(),
+                                            layout: layout.clone(),
+                                            evaluation: eval,
+                                        });
+                                    }
+                                }
+                            };
+                        consider(&mut stay, None);
+                        consider(&mut switch, Some(&other));
+                    }
+                    stay.zip(switch).map(|(stay, switch)| LayoutChoice {
+                        layout: layout.clone(),
+                        stay,
+                        switch,
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().expect("co-search table worker panicked"))
+            .collect()
+    });
+    Ok(CoSearchTable { choices })
+}
+
 /// Like [`co_search_with`], but consults (and fills) a [`CoSearchCache`]
 /// first: repeated layer shapes on the same architecture are looked up
 /// instead of re-searched.
@@ -168,10 +295,28 @@ impl NetworkPlan {
     }
 }
 
+/// How [`plan_network_with`] computes the co-search tables the plan needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanParallelism {
+    /// One layer's table at a time (the baseline the `layoutloop_cosearch`
+    /// bench compares against).
+    Sequential,
+    /// All missing tables concurrently via `std::thread::scope`, one worker
+    /// per *distinct* layer shape. The chaining pass that threads each
+    /// layer's chosen layout into the next layer's predecessor constraint is
+    /// exact either way: tables are predecessor-independent
+    /// ([`LayoutChoice`]), so parallelism never changes the plan.
+    #[default]
+    Scoped,
+}
+
 /// Plans a whole network for pipelined execution: per-layer co-search with
 /// layout chaining, memoized through `cache` so repeated layer shapes (ResNet
-/// bottlenecks, BERT encoder blocks) are searched once. The same cache can be
-/// shared across networks and repeated planning calls.
+/// bottlenecks, BERT encoder blocks) are searched once — regardless of the
+/// chained predecessor layouts, because whole [`CoSearchTable`]s are cached.
+/// Missing tables are computed in parallel across layers
+/// ([`PlanParallelism::Scoped`]). The same cache can be shared across
+/// networks and repeated planning calls.
 ///
 /// # Errors
 /// Propagates the first per-layer co-search failure.
@@ -182,12 +327,50 @@ pub fn plan_network(
     seed: u64,
     cache: &mut CoSearchCache,
 ) -> Result<NetworkPlan, ArchError> {
+    plan_network_with(arch, network, mapper, seed, cache, PlanParallelism::Scoped)
+}
+
+/// [`plan_network`] with an explicit table-computation strategy.
+///
+/// # Errors
+/// Propagates the first per-layer co-search failure.
+pub fn plan_network_with(
+    arch: &ArchSpec,
+    network: &Network,
+    mapper: &MapperConfig,
+    seed: u64,
+    cache: &mut CoSearchCache,
+    parallelism: PlanParallelism,
+) -> Result<NetworkPlan, ArchError> {
     let hits_before = cache.hits();
     let misses_before = cache.misses();
+    ensure_tables(
+        arch,
+        network.layers.iter(),
+        mapper,
+        seed,
+        cache,
+        parallelism,
+    )?;
+
+    // Chaining pass: each layer's chosen layout becomes the next layer's
+    // predecessor constraint — pure table lookups at this point.
     let mut per_layer = Vec::with_capacity(network.len());
     let mut prev_layout: Option<Layout> = None;
     for layer in network {
-        let result = co_search_memoized(cache, arch, layer, prev_layout.as_ref(), mapper, seed)?;
+        let key = crate::cache::table_key(arch, layer, mapper, seed);
+        let table = cache
+            .peek_table(&key)
+            .expect("ensure_tables filled the cache");
+        let result = table
+            .select(layer.name(), prev_layout.as_ref())
+            .ok_or_else(|| {
+                ArchError::InvalidDataflow(format!(
+                    "no valid (dataflow, layout) pair found for layer `{}` on {}",
+                    layer.name(),
+                    arch.name
+                ))
+            })?;
         prev_layout = Some(result.layout.clone());
         per_layer.push(result);
     }
@@ -197,6 +380,74 @@ pub fn plan_network(
         cache_hits: cache.hits() - hits_before,
         cache_misses: cache.misses() - misses_before,
     })
+}
+
+/// Makes sure the cache holds a [`CoSearchTable`] for every workload,
+/// counting one miss per *distinct* missing shape and one hit per repeated or
+/// already-cached lookup, then computing the missing tables per the chosen
+/// [`PlanParallelism`].
+pub(crate) fn ensure_tables<'a>(
+    arch: &ArchSpec,
+    workloads: impl Iterator<Item = &'a Workload>,
+    mapper: &MapperConfig,
+    seed: u64,
+    cache: &mut CoSearchCache,
+    parallelism: PlanParallelism,
+) -> Result<(), ArchError> {
+    let mut missing: Vec<(String, Workload)> = Vec::new();
+    for workload in workloads {
+        let key = crate::cache::table_key(arch, workload, mapper, seed);
+        if cache.peek_table(&key).is_some() || missing.iter().any(|(k, _)| *k == key) {
+            cache.record_hit();
+        } else {
+            cache.record_miss();
+            missing.push((key, workload.clone()));
+        }
+    }
+    match parallelism {
+        PlanParallelism::Sequential => {
+            for (key, workload) in missing {
+                let table = co_search_table(arch, &workload, mapper, seed)?;
+                cache.insert_table(key, table);
+            }
+        }
+        PlanParallelism::Scoped => {
+            // Bound the outer fan-out at the core count: each co_search_table
+            // already parallelizes over layout candidates internally, so one
+            // worker per missing shape would oversubscribe quadratically.
+            let workers = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(missing.len().max(1));
+            let chunk = missing.len().div_ceil(workers).max(1);
+            let chunks: Vec<Vec<(String, Workload)>> =
+                missing.chunks(chunk).map(|c| c.to_vec()).collect();
+            let computed: Vec<Vec<(String, Result<CoSearchTable, ArchError>)>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = chunks
+                        .into_iter()
+                        .map(|chunk| {
+                            scope.spawn(move || {
+                                chunk
+                                    .into_iter()
+                                    .map(|(key, workload)| {
+                                        (key, co_search_table(arch, &workload, mapper, seed))
+                                    })
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("plan worker panicked"))
+                        .collect()
+                });
+            for (key, table) in computed.into_iter().flatten() {
+                cache.insert_table(key, table?);
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Aggregate metrics over a network co-search (geometric means, the statistics

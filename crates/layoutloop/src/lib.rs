@@ -38,10 +38,16 @@ pub mod arch;
 pub mod cache;
 pub mod cosearch;
 pub mod evaluate;
+pub mod graphplan;
 pub mod mapper;
+pub mod persist;
 
 pub use arch::{ArchSpec, DataflowFlexibility, ReorderCapability};
 pub use cache::CoSearchCache;
-pub use cosearch::{co_search, plan_network, CoSearchResult, NetworkPlan};
+pub use cosearch::{
+    co_search, plan_network, plan_network_with, CoSearchResult, CoSearchTable, NetworkPlan,
+    PlanParallelism,
+};
 pub use evaluate::{evaluate, Evaluation};
+pub use graphplan::{plan_graph, GraphPlan};
 pub use mapper::{search_dataflows, MapperConfig};

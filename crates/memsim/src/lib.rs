@@ -17,7 +17,10 @@
 //!   [`Layout`](feather_arch::layout::Layout), addressed by logical
 //!   coordinates;
 //! * [`PingPong`](pingpong::PingPong) — the double-buffering wrapper used by
-//!   FEATHER's StaB/StrB.
+//!   FEATHER's StaB/StrB;
+//! * [`ScratchRegion`](scratch::ScratchRegion) — the shortcut staging area a
+//!   graph executor parks residual branch tensors in, with separate traffic
+//!   accounting.
 //!
 //! # Example
 //!
@@ -40,12 +43,14 @@
 pub mod buffer;
 pub mod conflict;
 pub mod pingpong;
+pub mod scratch;
 pub mod stats;
 pub mod store;
 
 pub use buffer::FunctionalBuffer;
 pub use conflict::ConflictModel;
 pub use pingpong::PingPong;
+pub use scratch::ScratchRegion;
 pub use stats::AccessStats;
 pub use store::{LayoutStore, LayoutView};
 

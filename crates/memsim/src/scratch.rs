@@ -1,0 +1,184 @@
+//! Shortcut scratch region: the on-chip staging area a graph executor parks
+//! branch tensors in while the main path runs.
+//!
+//! FEATHER's ping/pong StaB holds exactly two tensors — the layer being read
+//! and the layer being produced. A residual shortcut lives *longer* than one
+//! layer boundary: its value is produced at a branch point and consumed only
+//! at the join several layers later, so it must sit in a separate scratch
+//! region (on real silicon: spare StaB lines or a dedicated SRAM slice). This
+//! type models that region functionally: named allocations holding real
+//! element data, with its own [`AccessStats`] so shortcut traffic is
+//! accounted separately from the main-path StaB traffic, plus peak-occupancy
+//! tracking for sizing.
+//!
+//! # Example
+//!
+//! ```
+//! use feather_memsim::ScratchRegion;
+//!
+//! let mut scratch = ScratchRegion::<i8>::new(16);
+//! scratch.park("shortcut", vec![1, 2, 3, 4]);
+//! assert_eq!(scratch.occupancy(), 4);
+//! assert_eq!(scratch.fetch("shortcut"), Some(&[1i8, 2, 3, 4][..]));
+//! let released = scratch.release("shortcut").unwrap();
+//! assert_eq!(released.len(), 4);
+//! assert_eq!(scratch.occupancy(), 0);
+//! assert_eq!(scratch.peak_occupancy(), 4);
+//! // One line write per 16-element row, one line read back.
+//! assert_eq!(scratch.stats().element_writes, 4);
+//! assert_eq!(scratch.stats().element_reads, 4);
+//! assert_eq!(scratch.stats().line_reads, 1);
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::stats::AccessStats;
+
+/// A functional scratch region for parked tensors. See the
+/// [module docs](self) for the architectural role.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScratchRegion<T> {
+    slots: BTreeMap<String, Vec<T>>,
+    line_size: usize,
+    stats: AccessStats,
+    occupancy: usize,
+    peak_occupancy: usize,
+}
+
+impl<T: Copy> ScratchRegion<T> {
+    /// Creates an empty region whose line (row) width is `line_size` elements
+    /// — the granularity the line-access counters use.
+    pub fn new(line_size: usize) -> Self {
+        ScratchRegion {
+            slots: BTreeMap::new(),
+            line_size: line_size.max(1),
+            stats: AccessStats::new(),
+            occupancy: 0,
+            peak_occupancy: 0,
+        }
+    }
+
+    /// Parks a tensor's elements under a key, counting the element and line
+    /// writes. Re-parking an existing key replaces its data (the old
+    /// allocation is freed first).
+    pub fn park(&mut self, key: impl Into<String>, data: Vec<T>) {
+        let key = key.into();
+        if let Some(old) = self.slots.remove(&key) {
+            self.occupancy -= old.len();
+        }
+        self.stats.element_writes += data.len() as u64;
+        self.stats.line_writes += data.len().div_ceil(self.line_size) as u64;
+        self.occupancy += data.len();
+        self.peak_occupancy = self.peak_occupancy.max(self.occupancy);
+        self.slots.insert(key, data);
+    }
+
+    /// Reads a parked tensor without freeing it, counting the element and
+    /// line reads. Returns `None` for unknown keys.
+    pub fn fetch(&mut self, key: &str) -> Option<&[T]> {
+        let data = self.slots.get(key)?;
+        self.stats.element_reads += data.len() as u64;
+        self.stats.line_reads += data.len().div_ceil(self.line_size) as u64;
+        Some(data)
+    }
+
+    /// Frees a parked tensor, returning its data without counting a read
+    /// (pair with [`ScratchRegion::fetch`] for read-then-free).
+    pub fn release(&mut self, key: &str) -> Option<Vec<T>> {
+        let data = self.slots.remove(key)?;
+        self.occupancy -= data.len();
+        Some(data)
+    }
+
+    /// Returns `true` if a tensor is parked under `key`.
+    pub fn contains(&self, key: &str) -> bool {
+        self.slots.contains_key(key)
+    }
+
+    /// Elements currently parked.
+    pub fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// High-water mark of parked elements — the capacity a real scratch SRAM
+    /// would need for this run.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Number of live allocations.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` if nothing is parked.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Accumulated access statistics.
+    pub fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn park_fetch_release_roundtrip() {
+        let mut s = ScratchRegion::<i32>::new(4);
+        s.park("a", vec![10; 10]);
+        s.park("b", vec![20; 6]);
+        assert_eq!(s.occupancy(), 16);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.fetch("a").unwrap().len(), 10);
+        assert_eq!(s.release("a").unwrap(), vec![10; 10]);
+        assert_eq!(s.occupancy(), 6);
+        assert!(!s.contains("a"));
+        assert!(s.contains("b"));
+        assert_eq!(s.fetch("a"), None);
+        assert_eq!(s.release("missing"), None);
+    }
+
+    #[test]
+    fn stats_count_elements_and_lines() {
+        let mut s = ScratchRegion::<i8>::new(4);
+        s.park("t", vec![0; 10]);
+        // 10 elements over 4-wide lines → 3 line writes.
+        assert_eq!(s.stats().element_writes, 10);
+        assert_eq!(s.stats().line_writes, 3);
+        s.fetch("t");
+        s.fetch("t");
+        assert_eq!(s.stats().element_reads, 20);
+        assert_eq!(s.stats().line_reads, 6);
+        // Release is free (no read counted).
+        s.release("t");
+        assert_eq!(s.stats().element_reads, 20);
+    }
+
+    #[test]
+    fn peak_occupancy_is_a_high_water_mark() {
+        let mut s = ScratchRegion::<i8>::new(8);
+        s.park("a", vec![0; 100]);
+        s.release("a");
+        s.park("b", vec![0; 30]);
+        assert_eq!(s.occupancy(), 30);
+        assert_eq!(s.peak_occupancy(), 100);
+        assert!(s.release("b").is_some());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn repark_replaces_without_leaking_occupancy() {
+        let mut s = ScratchRegion::<i8>::new(8);
+        s.park("a", vec![0; 50]);
+        s.park("a", vec![1; 10]);
+        assert_eq!(s.occupancy(), 10);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.fetch("a").unwrap()[0], 1);
+        // Both parks counted as writes.
+        assert_eq!(s.stats().element_writes, 60);
+    }
+}

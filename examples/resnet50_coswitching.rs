@@ -72,13 +72,21 @@ fn main() {
 
     // ---- 2. Execute: pipelined bottleneck chain through the StaB -------
     // Take the first stride-1 bottleneck main path (1x1 reduce → 3x3 → 1x1
-    // expand) from the real network and scale channels/spatial down so the
-    // functional simulation stays fast.
-    let chains = net.conv_chains();
-    let chain = chains
+    // expand) from the real network graph — its segments respect the branch
+    // points the flat layer list cannot see — and scale channels/spatial
+    // down so the functional simulation stays fast.
+    let graph = feather_arch::graph::resnet50_graph();
+    let segments = graph.segments();
+    let chain: Vec<ConvLayer> = segments
         .iter()
-        .find(|c| c.len() >= 3 && c.iter().take(3).all(|l| l.stride == 1))
-        .expect("resnet50 has a stride-1 bottleneck chain");
+        .map(|seg| {
+            seg.nodes
+                .iter()
+                .map(|&id| graph.node(id).execution_conv().expect("conv-like"))
+                .collect::<Vec<_>>()
+        })
+        .find(|layers| layers.len() >= 3 && layers.iter().take(3).all(|l| l.stride == 1))
+        .expect("resnet50 has a stride-1 bottleneck main path");
     let scaled: Vec<ConvLayer> = chain
         .iter()
         .take(3)

@@ -1,0 +1,152 @@
+//! Full ResNet-50 as a tensor DAG through the pipelined StaB, end to end:
+//!
+//! 1. **Model** — `feather_arch::graph::resnet50_graph()` builds the *real*
+//!    topology: all 53 convolutions, both pooling layers as their convolution
+//!    lowerings, the FC GEMM, and the 16 residual shortcut adds the flat
+//!    layer list silently drops.
+//! 2. **Plan** — `layoutloop::plan_graph` co-searches (dataflow, layout) per
+//!    segment, computing missing co-search tables in parallel across branches
+//!    and layers, memoized through `CoSearchCache` (persisted across runs
+//!    when `FEATHER_CACHE_DIR` is set).
+//! 3. **Execute** — `feather::GraphSession` schedules the DAG: every linear
+//!    segment pipelines through the ping/pong StaB, shortcut tensors park in
+//!    the scratch region, and each join performs the saturating quantized
+//!    residual add before the result is staged in the consumer's layout.
+//! 4. **Verify** — the output is checked bit-for-bit against the naive
+//!    sequential reference (`run_graph_reference`).
+//!
+//! Channels and spatial extents are scaled down (÷8) by default so the
+//! *functional* simulation finishes in seconds; the graph topology is
+//! untouched. `FEATHER_FULL=1` runs the true-size network (minutes to hours).
+//!
+//! ```text
+//! cargo run --release -p feather-suite --example resnet50_graph
+//! ```
+
+use feather::graph_session::run_graph_reference;
+use feather::{FeatherConfig, GraphSession};
+use feather_arch::graph::{resnet50_graph, resnet50_graph_scaled};
+use feather_arch::tensor::Tensor4;
+use layoutloop::arch::ArchSpec;
+use layoutloop::cache::CoSearchCache;
+use layoutloop::graphplan::plan_graph;
+use layoutloop::mapper::MapperConfig;
+
+fn main() {
+    let full = std::env::var("FEATHER_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let graph = if full {
+        resnet50_graph()
+    } else {
+        resnet50_graph_scaled(8, 8)
+    };
+    println!(
+        "graph `{}`: {} nodes = {} convs + {} pool-as-conv + {} gemm + {} residual adds, {} segments",
+        graph.name,
+        graph.len(),
+        graph.conv_node_count(),
+        graph.pool_node_count(),
+        graph.gemm_node_count(),
+        graph.add_node_count(),
+        graph.segments().len(),
+    );
+
+    // ---- 1. Plan: per-segment co-search over the DAG --------------------
+    let arch = ArchSpec::feather_like(16, 16);
+    let mapper = MapperConfig::fast();
+    let mut cache = CoSearchCache::load_persistent();
+    let preloaded = cache.table_count();
+    let t0 = std::time::Instant::now();
+    let plan = plan_graph(&arch, &graph, &mapper, 0, &mut cache).expect("graph plans");
+    let plan_wall = t0.elapsed();
+    println!(
+        "plan: {} nodes in {:.2?} — {} fresh co-search tables, {} served from cache \
+         ({} preloaded from FEATHER_CACHE_DIR), modeled total {} cycles",
+        plan.per_node.len(),
+        plan_wall,
+        plan.cache_misses,
+        plan.cache_hits,
+        preloaded,
+        plan.total_cycles(),
+    );
+    match cache.save_persistent() {
+        Ok(true) => println!("co-search cache persisted to FEATHER_CACHE_DIR"),
+        Ok(false) => {}
+        Err(e) => println!("cache persist failed (non-fatal): {e}"),
+    }
+
+    // ---- 2. Execute: the whole DAG through the pipelined StaB -----------
+    let config = FeatherConfig::paper_16x16();
+    let session =
+        GraphSession::from_schedules(config, &graph, &plan.schedules()).expect("graph compiles");
+    let [_, c, h, w] = graph.tensor_shape(graph.input());
+    let iacts = Tensor4::random([1, c, h, w], 42);
+    let weights = graph.random_weights(43);
+    let t1 = std::time::Instant::now();
+    let run = session.run(&iacts, &weights).expect("graph executes");
+    let exec_wall = t1.elapsed();
+
+    let report = &run.report;
+    println!(
+        "\nexecuted {} layers across {} segments in {:.2?}: {} MACs, {} cycles, {} StaB swaps",
+        report.layers().count(),
+        report.segments.len(),
+        exec_wall,
+        report.total_macs(),
+        report.total_cycles(),
+        report.stab_swaps(),
+    );
+    println!(
+        "residual joins: {}/16 performed, {} elements added, {} saturated at the INT8 boundary",
+        report.joins.len(),
+        report.joins.iter().map(|j| j.elements).sum::<u64>(),
+        report.saturated_join_elements(),
+    );
+    println!(
+        "shortcut scratch region: {} B parked + {} B fetched, peak occupancy {} B",
+        report.scratch.element_writes, report.scratch.element_reads, report.scratch_peak_elems,
+    );
+
+    // The five busiest layers, as a spot check.
+    let mut layers: Vec<_> = report.layers().collect();
+    layers.sort_by_key(|l| std::cmp::Reverse(l.report.macs));
+    println!(
+        "\n{:<38} {:>10} {:>12} {:>12}",
+        "busiest layers", "cycles", "MACs", "DRAM bytes"
+    );
+    for l in layers.iter().take(5) {
+        println!(
+            "{:<38} {:>10} {:>12} {:>12}",
+            l.name,
+            l.report.cycles,
+            l.report.macs,
+            l.report.dram_bytes(),
+        );
+    }
+
+    // ---- 3. Verify against the sequential reference ---------------------
+    let (shift, zero) = session.quantization();
+    let golden =
+        run_graph_reference(&graph, &iacts, &weights, shift, zero).expect("reference executes");
+    assert_eq!(
+        run.oacts, golden,
+        "graph output diverged from the reference"
+    );
+    println!(
+        "\nall {} convolutions and all {} shortcut adds executed — output verified \
+         bit-identical to the sequential graph reference",
+        graph.conv_node_count(),
+        graph.add_node_count(),
+    );
+
+    // ---- 4. DRAM savings vs layer-at-a-time ------------------------------
+    println!(
+        "activation DRAM traffic: pipelined {} B vs layer-at-a-time {} B ({:.0}% saved)",
+        report.dram_activation_bytes(),
+        report.layer_at_a_time_activation_bytes(),
+        report.dram_activation_savings() * 100.0,
+    );
+    assert!(report.dram_activation_bytes() < report.layer_at_a_time_activation_bytes());
+    println!("graph pipeline OK");
+}

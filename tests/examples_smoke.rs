@@ -40,6 +40,34 @@ fn quickstart_runs_end_to_end() {
     );
 }
 
+/// Runs the full-graph ResNet-50 example (in release mode — planning plus
+/// the 72-node functional execution is too slow unoptimized) and checks that
+/// the whole DAG, residual joins included, executed and verified.
+#[test]
+fn resnet50_graph_runs_the_full_dag_end_to_end() {
+    let (stdout, stderr, code, ok) = run_example(&["--release"], "resnet50_graph");
+    assert!(
+        ok,
+        "resnet50_graph exited with {code:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+    );
+    assert!(
+        stdout.contains("53 convs") && stdout.contains("16 residual adds"),
+        "graph topology line missing\nstdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("residual joins: 16/16 performed"),
+        "expected all 16 joins to execute\nstdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("output verified bit-identical to the sequential graph reference"),
+        "verification line missing\nstdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("graph pipeline OK"),
+        "pipeline summary missing\nstdout:\n{stdout}"
+    );
+}
+
 /// Runs the pipelined ResNet-50 example (in release mode — the co-search
 /// planning phase is too slow unoptimized) and checks the pipeline summary.
 #[test]
