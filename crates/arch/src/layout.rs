@@ -284,6 +284,68 @@ impl Layout {
     pub fn row_major(w_per_line: usize) -> Layout {
         Layout::new([Dim::H, Dim::C, Dim::W], [(Dim::W, w_per_line)])
     }
+
+    /// Precompiles this layout over a fixed 4-dimension coordinate order into
+    /// per-dimension lookup tables ([`LocationPlan4`]), so hot loops can map
+    /// coordinates to `(line, offset)` locations with four table lookups and
+    /// three adds instead of re-walking the layout structure (and building a
+    /// `BTreeMap` coordinate) per element.
+    ///
+    /// Exactness: [`Layout::location`] is *separable* — both the intra-line
+    /// offset and the inter-line index are mixed-radix sums with one summand
+    /// per dimension and no cross terms (each dimension appears at most once
+    /// intra-line and once in the line computation, enforced by
+    /// [`Layout::validate`]). The plan therefore tabulates each dimension's
+    /// summand by evaluating `location` at single-coordinate points, and
+    /// summing the four summands reproduces `location` bit-for-bit (the
+    /// all-zero coordinate maps to `(0, 0)`).
+    ///
+    /// `order` lists the four dimensions with their extents (e.g.
+    /// `[(Dim::N, n), (Dim::C, c), (Dim::H, h), (Dim::W, w)]` for iActs);
+    /// the extents play the role of `dim_sizes` in [`Layout::location`].
+    pub fn plan4(&self, order: [(Dim, usize); 4]) -> LocationPlan4 {
+        let dim_sizes: BTreeMap<Dim, usize> = order.iter().copied().collect();
+        let tables = order.map(|(dim, extent)| {
+            (0..extent.max(1))
+                .map(|v| {
+                    let coord: BTreeMap<Dim, usize> = [(dim, v)].into_iter().collect();
+                    self.location(&coord, &dim_sizes)
+                })
+                .collect::<Vec<Location>>()
+        });
+        LocationPlan4 { tables }
+    }
+}
+
+/// A [`Layout`] precompiled over a fixed 4-dimension coordinate order — see
+/// [`Layout::plan4`]. This is the hot-loop addressing primitive of the
+/// functional executor: coordinate-to-location mapping as pure index
+/// arithmetic, no maps, no allocation.
+#[derive(Debug, Clone)]
+pub struct LocationPlan4 {
+    /// Per dimension (in plan order), the `(line, offset)` summand each
+    /// coordinate value contributes.
+    tables: [Vec<Location>; 4],
+}
+
+impl LocationPlan4 {
+    /// Location of the coordinate `values`, given in the plan's dimension
+    /// order.
+    ///
+    /// # Panics
+    /// Panics if a coordinate value is out of the extent declared to
+    /// [`Layout::plan4`].
+    #[inline]
+    pub fn location(&self, values: [usize; 4]) -> Location {
+        let a = self.tables[0][values[0]];
+        let b = self.tables[1][values[1]];
+        let c = self.tables[2][values[2]];
+        let d = self.tables[3][values[3]];
+        Location {
+            line: a.line + b.line + c.line + d.line,
+            offset: a.offset + b.offset + c.offset + d.offset,
+        }
+    }
 }
 
 /// A physical location inside a logical 2D buffer.
@@ -561,6 +623,41 @@ mod tests {
             }
         }
         assert_eq!(iact.total_lines(&idims), oact.total_lines(&odims));
+    }
+
+    #[test]
+    fn plan4_matches_location_exhaustively() {
+        // Layouts exercising every structural case: intra-only, inter+intra,
+        // a dim both inter- and intra-line, and implicit outer dims (N, and
+        // H/W when the layout does not name them).
+        for spec in ["HWC_C4", "CHW_W4H2C2", "HWC_C2W2", "MPQ_Q4", "HCW_W4"] {
+            let layout: Layout = spec.parse().unwrap();
+            let (d0, d1, d2, d3) = if spec == "MPQ_Q4" {
+                (Dim::N, Dim::M, Dim::P, Dim::Q)
+            } else {
+                (Dim::N, Dim::C, Dim::H, Dim::W)
+            };
+            let order = [(d0, 2), (d1, 8), (d2, 4), (d3, 4)];
+            let dim_sizes: BTreeMap<Dim, usize> = order.iter().copied().collect();
+            let plan = layout.plan4(order);
+            for n in 0..2 {
+                for c in 0..8 {
+                    for h in 0..4 {
+                        for w in 0..4 {
+                            let golden = layout.location(
+                                &coord(&[(d0, n), (d1, c), (d2, h), (d3, w)]),
+                                &dim_sizes,
+                            );
+                            assert_eq!(
+                                plan.location([n, c, h, w]),
+                                golden,
+                                "{spec} at ({n},{c},{h},{w})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! `bench-snapshot`: quick-mode wall-time snapshot of the executor benches,
+//! emitted as machine-readable JSON so future PRs have a perf trajectory to
+//! compare against.
+//!
+//! Runs the same scenarios as the `feather_functional`, `pipeline_resnet`
+//! and `graph_resnet` Criterion benches (plus an explicit serial-vs-parallel
+//! pair on a layer large enough to shard), but with a handful of iterations
+//! so it doubles as a CI smoke test for the hot path.
+//!
+//! ```text
+//! cargo run --release -p feather-bench --bin bench_snapshot [-- --pr N] [-- --out BENCH.json]
+//! ```
+//!
+//! `--pr N` stamps the snapshot and derives the default output path
+//! `BENCH_N.json` (default: 5, the PR that introduced this bin — pass the
+//! current PR number when committing a new snapshot). Environment:
+//! `FEATHER_BENCH_ITERS` overrides the measured iteration count (default 5;
+//! the median is reported).
+
+use std::time::Instant;
+
+use feather::{default_threads, FeatherConfig, GraphSession, LayerMapping, NetworkSession};
+use feather_arch::graph::resnet50_graph_scaled;
+use feather_arch::tensor::Tensor4;
+use feather_arch::workload::ConvLayer;
+
+/// One measured scenario: wall time plus the modeled counters that must stay
+/// comparable across PRs (the model, unlike the wall clock, is deterministic).
+struct Snapshot {
+    name: &'static str,
+    wall_ms: f64,
+    cycles: u64,
+    dram_bytes: u64,
+}
+
+fn median_ms(iters: usize, mut run: impl FnMut()) -> f64 {
+    run(); // warm-up (route caches, allocator)
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            run();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+    samples[samples.len() / 2]
+}
+
+fn functional_conv(iters: usize) -> Snapshot {
+    // Identical shape to the `feather_functional` Criterion bench.
+    let layer = ConvLayer::new(1, 8, 8, 8, 8, 3, 3).with_padding(1);
+    let iacts = Tensor4::random([1, 8, 8, 8], 1);
+    let weights = vec![Tensor4::random([8, 8, 3, 3], 2)];
+    let cfg = FeatherConfig::new(4, 8);
+    let mapping = LayerMapping::weight_stationary(&layer, &cfg, "HWC_C8", "MPQ_Q8");
+    let session = NetworkSession::from_mappings(cfg, vec![(layer, mapping)])
+        .expect("bench layer maps onto FEATHER");
+    let run = session.run(&iacts, &weights).expect("bench conv executes");
+    Snapshot {
+        name: "feather_functional/conv_8x8x8_3x3_on_4x8",
+        wall_ms: median_ms(iters, || {
+            session.run(&iacts, &weights).expect("bench conv executes");
+        }),
+        cycles: run.report.total_cycles(),
+        dram_bytes: run.report.dram_bytes(),
+    }
+}
+
+fn pipeline_bottleneck(iters: usize) -> Snapshot {
+    // Identical chain to the `pipeline_resnet` Criterion bench.
+    let layers = vec![
+        ConvLayer::new(1, 4, 16, 7, 7, 1, 1).with_name("bneck_1x1a"),
+        ConvLayer::new(1, 4, 4, 7, 7, 3, 3)
+            .with_padding(1)
+            .with_name("bneck_3x3"),
+        ConvLayer::new(1, 16, 4, 7, 7, 1, 1).with_name("bneck_1x1b"),
+    ];
+    let session = NetworkSession::weight_stationary(
+        FeatherConfig::new(8, 16),
+        &layers,
+        &["HWC_C16", "HWC_C4W4", "HWC_C4W4"],
+        "MPQ_Q16",
+    )
+    .expect("bottleneck chain maps onto FEATHER");
+    let iacts = Tensor4::random([1, 16, 7, 7], 7);
+    let weights: Vec<Tensor4<i8>> = layers
+        .iter()
+        .enumerate()
+        .map(|(i, l)| Tensor4::random([l.m, l.c, l.r, l.s], 8 + i as u64))
+        .collect();
+    let run = session.run(&iacts, &weights).expect("pipeline executes");
+    Snapshot {
+        name: "pipeline_resnet/network_session",
+        wall_ms: median_ms(iters, || {
+            session.run(&iacts, &weights).expect("pipeline executes");
+        }),
+        cycles: run.report.total_cycles(),
+        dram_bytes: run.report.dram_bytes(),
+    }
+}
+
+fn graph_resnet(iters: usize) -> Snapshot {
+    // Identical graph to the `graph_resnet` Criterion bench.
+    let graph = resnet50_graph_scaled(16, 16);
+    let session = GraphSession::auto(FeatherConfig::new(8, 16), &graph)
+        .expect("scaled resnet50 graph compiles");
+    let [_, ch, h, w] = graph.tensor_shape(graph.input());
+    let iacts = Tensor4::random([1, ch, h, w], 7);
+    let weights = graph.random_weights(8);
+    let run = session.run(&iacts, &weights).expect("graph executes");
+    Snapshot {
+        name: "graph_resnet/graph_session",
+        wall_ms: median_ms(iters, || {
+            session.run(&iacts, &weights).expect("graph executes");
+        }),
+        cycles: run.report.total_cycles(),
+        dram_bytes: run.report.dram_bytes(),
+    }
+}
+
+/// Serial vs sharded on a layer with enough weight-tile/batch units to
+/// occupy several workers — the explicit measurement behind the
+/// "compiled → parallel" speedup quoted in the README.
+fn parallel_pair(iters: usize) -> (Snapshot, Snapshot) {
+    let layer = ConvLayer::new(2, 16, 16, 14, 14, 3, 3)
+        .with_padding(1)
+        .with_name("shardable");
+    let cfg = FeatherConfig::new(8, 16);
+    let mapping = LayerMapping::weight_stationary(&layer, &cfg, "HWC_C16", "MPQ_Q16");
+    let iacts = Tensor4::random([2, 16, 14, 14], 5);
+    let weights = vec![Tensor4::random([16, 16, 3, 3], 6)];
+    let build = |threads: usize| {
+        NetworkSession::from_mappings(cfg, vec![(layer.clone(), mapping.clone())])
+            .expect("shardable layer maps onto FEATHER")
+            .with_threads(threads)
+    };
+    let serial = build(1);
+    // At least two workers so the sharded path is always exercised and
+    // measured, even on a single-core host (where it is honestly ≈1×).
+    let parallel = build(default_threads().max(2));
+    let golden = serial.run(&iacts, &weights).expect("serial run");
+    let check = parallel.run(&iacts, &weights).expect("parallel run");
+    assert_eq!(golden.oacts, check.oacts, "parallel run diverged");
+    assert_eq!(golden.report, check.report, "parallel report diverged");
+    let cycles = golden.report.total_cycles();
+    let dram_bytes = golden.report.dram_bytes();
+    (
+        Snapshot {
+            name: "conv_16x16x14x14_n2/serial",
+            wall_ms: median_ms(iters, || {
+                serial.run(&iacts, &weights).expect("serial run");
+            }),
+            cycles,
+            dram_bytes,
+        },
+        Snapshot {
+            name: "conv_16x16x14x14_n2/sharded",
+            wall_ms: median_ms(iters, || {
+                parallel.run(&iacts, &weights).expect("parallel run");
+            }),
+            cycles,
+            dram_bytes,
+        },
+    )
+}
+
+fn main() {
+    let mut pr: u32 = 5;
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = Some(args.next().expect("--out takes a path")),
+            "--pr" => {
+                pr = args
+                    .next()
+                    .expect("--pr takes a number")
+                    .parse()
+                    .expect("--pr takes a number")
+            }
+            other => panic!("unknown argument `{other}` (supported: --pr <n>, --out <path>)"),
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| format!("BENCH_{pr}.json"));
+    let iters: usize = std::env::var("FEATHER_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(5);
+
+    let mut snapshots = vec![
+        functional_conv(iters),
+        pipeline_bottleneck(iters),
+        graph_resnet(iters),
+    ];
+    let (serial, parallel) = parallel_pair(iters);
+    let shard_speedup = serial.wall_ms / parallel.wall_ms.max(1e-9);
+    snapshots.push(serial);
+    snapshots.push(parallel);
+
+    // Hand-rolled JSON: the vendored serde shim's derives are no-ops (see
+    // ROADMAP "Registry re-vendoring"), and the format is four flat fields.
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"pr\": {pr},\n"));
+    json.push_str(&format!("  \"iters\": {iters},\n"));
+    json.push_str(&format!("  \"host_threads\": {},\n", default_threads()));
+    json.push_str("  \"scenarios\": [\n");
+    for (i, s) in snapshots.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"cycles\": {}, \"dram_bytes\": {}}}{}\n",
+            s.name,
+            s.wall_ms,
+            s.cycles,
+            s.dram_bytes,
+            if i + 1 < snapshots.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("snapshot file is writable");
+
+    for s in &snapshots {
+        println!(
+            "{:<45} {:>10.3} ms   {:>12} cycles   {:>10} DRAM B",
+            s.name, s.wall_ms, s.cycles, s.dram_bytes
+        );
+    }
+    println!(
+        "serial → sharded speedup: {shard_speedup:.2}x ({} workers on {} host threads)",
+        default_threads().max(2),
+        default_threads()
+    );
+    println!("wrote {out_path}");
+}

@@ -21,7 +21,10 @@
 //!   inputs form which reduction groups and which output port each group's
 //!   result must reach), produces a per-stage switch configuration;
 //! * [`network`] — the functional network: apply a configuration to concrete
-//!   values and obtain the output-port values, plus latency/energy accounting.
+//!   values and obtain the output-port values, plus latency/energy accounting;
+//! * [`compiled`] — routed configurations lowered to flat gather-sum programs
+//!   ([`CompiledRoute`]) for allocation-free steady-state evaluation,
+//!   bit-identical to [`Birrd::evaluate`].
 //!
 //! # Example: 4:2 reduction with reordering (Fig. 9 / Fig. 11 style)
 //!
@@ -40,11 +43,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod compiled;
 pub mod network;
 pub mod route;
 pub mod switch;
 pub mod topology;
 
+pub use compiled::CompiledRoute;
 pub use network::{Birrd, NetworkConfig};
 pub use route::{ReductionRequest, RouteError};
 pub use switch::EggConfig;

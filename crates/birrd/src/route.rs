@@ -39,10 +39,11 @@ pub type GroupId = usize;
 /// (or `None` if the port carries no data), and for each group, the output
 /// port its reduced value must reach.
 ///
-/// The request is totally ordered so it can key route-memoization maps: the
-/// controller issues the same handful of reduce-reorder patterns millions of
-/// times per layer, and routing is deterministic per request.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+/// The request is totally ordered *and* hashable so it can key
+/// route-memoization maps (ordered or hashed): the controller issues the same
+/// handful of reduce-reorder patterns millions of times per layer, and
+/// routing is deterministic per request.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ReductionRequest {
     /// Group membership per input port (`None` = no data on that port).
     pub input_groups: Vec<Option<GroupId>>,

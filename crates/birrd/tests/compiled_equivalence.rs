@@ -1,0 +1,106 @@
+//! Property test: the compiled gather-sum program of a routed configuration
+//! ([`CompiledRoute`]) is bit-identical to the golden stage-by-stage
+//! [`Birrd::evaluate`] — over random routed reduction-reorder requests, random
+//! widths and random (partially absent) input vectors.
+
+use feather_birrd::{Birrd, CompiledRoute, ReductionRequest};
+use proptest::prelude::*;
+
+/// Deterministic LCG so the generated groups depend only on the proptest
+/// inputs (reproducible failures without shrinking support).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() as usize) % n.max(1)
+    }
+}
+
+/// Builds a random reduction-reorder request: live input ports partitioned
+/// into contiguous-by-shuffle groups, each group sent to a distinct random
+/// output port.
+fn random_request(width: usize, live: usize, max_groups: usize, rng: &mut Lcg) -> ReductionRequest {
+    let mut ports: Vec<usize> = (0..width).collect();
+    for i in (1..ports.len()).rev() {
+        ports.swap(i, rng.below(i + 1));
+    }
+    ports.truncate(live.max(1));
+
+    let num_groups = rng.below(max_groups.min(ports.len())) + 1;
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); num_groups];
+    for (i, port) in ports.iter().enumerate() {
+        // Every group gets at least one member, the rest scatter randomly.
+        let g = if i < num_groups {
+            i
+        } else {
+            rng.below(num_groups)
+        };
+        members[g].push(*port);
+    }
+
+    let mut dests: Vec<usize> = (0..width).collect();
+    for i in (1..dests.len()).rev() {
+        dests.swap(i, rng.below(i + 1));
+    }
+    let groups: Vec<(Vec<usize>, usize)> = members.into_iter().zip(dests).collect();
+    ReductionRequest::from_groups(width, &groups).expect("generated request is well-formed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn compiled_run_equals_evaluate(
+        width_pick in 0usize..3,
+        live_frac in 1usize..5,
+        max_groups in 1usize..6,
+        seed in 0u64..1_000_000,
+        input_seed in 0u64..1_000_000,
+        holes in 0usize..3,
+    ) {
+        let width = [4usize, 8, 16][width_pick];
+        let live = (width * live_frac).div_ceil(4).min(width);
+        let mut rng = Lcg(seed | 1);
+        let request = random_request(width, live, max_groups, &mut rng);
+
+        let birrd = Birrd::new(width).unwrap();
+        let config = birrd.route(&request).expect("random request routes");
+        let compiled = CompiledRoute::compile(birrd.topology(), &config).unwrap();
+
+        // Random inputs, including absent values on live ports (`holes` > 0
+        // knocks a fraction of them out) and stray values on dead ports —
+        // the equivalence must hold for *any* input vector, not only the
+        // request's own live set.
+        let mut irng = Lcg(input_seed.wrapping_mul(2) | 1);
+        let inputs: Vec<Option<i64>> = (0..width)
+            .map(|_| {
+                if holes > 0 && irng.below(4) == 0 {
+                    None
+                } else {
+                    Some(irng.below(2001) as i64 - 1000)
+                }
+            })
+            .collect();
+
+        let golden = birrd.evaluate(&config, &inputs).unwrap();
+        let mut outputs = vec![None; width];
+        compiled.run(&inputs, &mut outputs).unwrap();
+        prop_assert_eq!(&outputs, &golden);
+        prop_assert_eq!(compiled.adder_activations(), config.adder_activations());
+
+        // Scratch reuse: a second pass over different inputs must not be
+        // polluted by the first.
+        let flipped: Vec<Option<i64>> = inputs.iter().map(|v| v.map(|x| -x)).collect();
+        let golden2 = birrd.evaluate(&config, &flipped).unwrap();
+        compiled.run(&flipped, &mut outputs).unwrap();
+        prop_assert_eq!(&outputs, &golden2);
+    }
+}

@@ -1,13 +1,8 @@
 //! The FEATHER accelerator: controller + NEST + BIRRD + StaB, with RIR.
 
-use std::collections::BTreeMap;
-
 use feather_arch::tensor::Tensor4;
 use feather_arch::workload::{ConvLayer, GemmLayer};
 use feather_arch::ArchError;
-use feather_birrd::{Birrd, NetworkConfig, ReductionRequest};
-use feather_memsim::LayoutView;
-use feather_nest::{NestArray, NestTiming};
 
 use crate::config::FeatherConfig;
 use crate::mapping::LayerMapping;
@@ -20,13 +15,20 @@ use crate::session::NetworkSession;
 #[derive(Debug, Clone)]
 pub struct Feather {
     config: FeatherConfig,
+    /// Compiled BIRRD route programs, persisted across `execute_*` calls —
+    /// successive layers on one accelerator replay the same reduce-reorder
+    /// patterns.
+    route_cache: std::sync::Arc<crate::core::RouteCache>,
 }
 
 impl Feather {
     /// Creates an accelerator with the given hardware configuration and the
     /// default TSMC-28 energy model.
     pub fn new(config: FeatherConfig) -> Self {
-        Feather { config }
+        Feather {
+            config,
+            route_cache: std::sync::Arc::new(crate::core::RouteCache::new()),
+        }
     }
 
     /// The hardware configuration.
@@ -55,8 +57,9 @@ impl Feather {
         iacts: &Tensor4<i8>,
         weights: &Tensor4<i8>,
     ) -> Result<LayerRun, ArchError> {
-        let session =
+        let mut session =
             NetworkSession::from_mappings(self.config, vec![(layer.clone(), mapping.clone())])?;
+        session.share_route_cache(self.route_cache.clone());
         let run = session.run(iacts, std::slice::from_ref(weights))?;
         let report = run
             .report
@@ -124,283 +127,6 @@ pub(crate) fn check_weight_shape(
         )));
     }
     Ok(())
-}
-
-/// Raw counters produced by one pass of the inner tile loop.
-pub(crate) struct CoreRun {
-    /// Compute cycles (tile timings + serialized BIRRD passes), excluding
-    /// bank-conflict stalls — the caller charges those from the buffer stats.
-    pub cycles: u64,
-    /// Number of BIRRD passes (row fires that produced live outputs).
-    pub birrd_passes: u64,
-    /// Number of adder activations inside BIRRD.
-    pub birrd_adds: u64,
-    /// Useful MACs performed.
-    pub macs: u64,
-}
-
-/// The inner tile loop shared by the single-layer entry point and the
-/// network-level pipeline executor: weight-stationary tiling over `(M, C)`,
-/// Phase-1 local temporal reduction in NEST, Phase-2 row fires through BIRRD
-/// with Reorder-in-Reduction into the output view.
-///
-/// `iact` is the active StaB half (the layer's inputs, already staged in
-/// `mapping.iact_layout`); `oact` is the shadow half the reduced outputs land
-/// in, addressed by `mapping.oact_layout`. `route_cache` memoizes BIRRD
-/// configurations per reduction-reorder request — the controller replays the
-/// same handful of patterns for every output pixel, and routing is
-/// deterministic per request. `expose_first_weight_load` charges the cold
-/// weight load of the first tile; a pipelined layer whose weights were
-/// prefetched during the previous layer passes `false`.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn run_conv_core(
-    config: &FeatherConfig,
-    layer: &ConvLayer,
-    mapping: &LayerMapping,
-    weights: &Tensor4<i8>,
-    iact: &mut LayoutView<'_, i32>,
-    oact: &mut LayoutView<'_, i32>,
-    route_cache: &mut BTreeMap<ReductionRequest, NetworkConfig>,
-    expose_first_weight_load: bool,
-) -> Result<CoreRun, ArchError> {
-    let rows = config.rows;
-    let cols = config.cols;
-    let p_total = layer.output_height();
-    let q_total = layer.output_width();
-    // Depthwise layers collapse the channel reduction: each output channel
-    // consumes only its own input channel.
-    let depthwise = layer.is_depthwise();
-    let c_cols = if depthwise { 1 } else { mapping.c_cols };
-    let q_cols = mapping.q_cols.min(cols / c_cols).max(1);
-    let m_rows = mapping.m_rows;
-    let m_tiles = layer.m.div_ceil(m_rows);
-    let c_tiles = if depthwise {
-        1
-    } else {
-        layer.c.div_ceil(c_cols)
-    };
-    let q_tiles = q_total.div_ceil(q_cols);
-
-    let mut nest = NestArray::new(rows, cols);
-    let birrd = Birrd::new(cols).map_err(|e| ArchError::InvalidDataflow(e.to_string()))?;
-    let timing = NestTiming::new(rows, cols, birrd.latency_cycles());
-
-    let mut cycles: u64 = 0;
-    let mut birrd_passes: u64 = 0;
-    let mut birrd_adds: u64 = 0;
-    let rs = layer.r * layer.s;
-    let mut first_tile = expose_first_weight_load;
-
-    for wt_m in 0..m_tiles {
-        for wt_c in 0..c_tiles {
-            // ---- Weight load (ping/pong hidden unless first tile) ----
-            for m_lane in 0..m_rows {
-                let m = wt_m * m_rows + m_lane;
-                for q_lane in 0..q_cols {
-                    for c_lane in 0..c_cols {
-                        let col = q_lane * c_cols + c_lane;
-                        let c = if depthwise { m } else { wt_c * c_cols + c_lane };
-                        let mut w_vec = vec![0i8; rs];
-                        if m < layer.m && c < layer.c {
-                            for r in 0..layer.r {
-                                for s in 0..layer.s {
-                                    w_vec[r * layer.s + s] = if depthwise {
-                                        weights.get(c, 0, r, s)
-                                    } else {
-                                        weights.get(m, c, r, s)
-                                    };
-                                }
-                            }
-                        }
-                        nest.load_weights(m_lane, col, &w_vec);
-                    }
-                }
-            }
-            nest.swap_all_weights();
-
-            let mut fires_this_tile: u64 = 0;
-            for n in 0..layer.n {
-                for p in 0..p_total {
-                    for qt in 0..q_tiles {
-                        // ---- Phase 1: local temporal reduction ----
-                        for rs_step in 0..rs {
-                            let r_i = rs_step / layer.s;
-                            let s_i = rs_step % layer.s;
-                            iact.begin_cycle();
-                            for q_lane in 0..q_cols {
-                                let q = qt * q_cols + q_lane;
-                                if q >= q_total {
-                                    continue;
-                                }
-                                for c_lane in 0..c_cols {
-                                    let col = q_lane * c_cols + c_lane;
-                                    let h_raw = p * layer.stride + r_i;
-                                    let w_raw = q * layer.stride + s_i;
-                                    if h_raw < layer.padding || w_raw < layer.padding {
-                                        continue;
-                                    }
-                                    let h = h_raw - layer.padding;
-                                    let w = w_raw - layer.padding;
-                                    if h >= layer.h || w >= layer.w {
-                                        continue;
-                                    }
-                                    for m_lane in 0..m_rows {
-                                        let m = wt_m * m_rows + m_lane;
-                                        if m >= layer.m {
-                                            continue;
-                                        }
-                                        let c = if depthwise { m } else { wt_c * c_cols + c_lane };
-                                        if c >= layer.c {
-                                            continue;
-                                        }
-                                        let coord = iact_coord(n, c, h, w);
-                                        // Non-depthwise: the same iAct is
-                                        // shared by every row, read once.
-                                        let value = if depthwise || m_lane == 0 {
-                                            iact.read_coord(&coord).unwrap_or(0)
-                                        } else {
-                                            iact.peek_coord(&coord).unwrap_or(0)
-                                        };
-                                        nest.mac(m_lane, col, value as i8, rs_step);
-                                    }
-                                }
-                            }
-                            iact.flush_cycle();
-                        }
-
-                        // ---- Phase 2: row fires through BIRRD (RIR) ----
-                        for m_lane in 0..m_rows {
-                            let m = wt_m * m_rows + m_lane;
-                            let mapped: Vec<bool> = (0..cols)
-                                .map(|col| {
-                                    let q_lane = col / c_cols;
-                                    let c_lane = col % c_cols;
-                                    let q = qt * q_cols + q_lane;
-                                    let c = if depthwise { m } else { wt_c * c_cols + c_lane };
-                                    q_lane < q_cols && q < q_total && m < layer.m && c < layer.c
-                                })
-                                .collect();
-                            let fire = nest.fire_row(m_lane, &mapped);
-                            fires_this_tile += 1;
-                            if m >= layer.m {
-                                continue;
-                            }
-                            // Build the reduction groups: one per q_lane,
-                            // destination = the StaB bank the oAct lands in
-                            // under the next layer's layout.
-                            let mut groups: Vec<(Vec<usize>, usize, Coord)> = Vec::new();
-                            for q_lane in 0..q_cols {
-                                let q = qt * q_cols + q_lane;
-                                if q >= q_total {
-                                    continue;
-                                }
-                                let members: Vec<usize> = (0..c_cols)
-                                    .map(|c_lane| q_lane * c_cols + c_lane)
-                                    .filter(|&col| mapped[col])
-                                    .collect();
-                                if members.is_empty() {
-                                    continue;
-                                }
-                                let coord = oact_coord(n, m, p, q);
-                                let loc = oact.location(&coord);
-                                let bank = loc.offset % cols;
-                                groups.push((members, bank, coord));
-                            }
-                            // Split into batches with unique destination
-                            // banks (a concordant mapping needs one batch).
-                            while !groups.is_empty() {
-                                let mut batch: Vec<(Vec<usize>, usize, Coord)> = Vec::new();
-                                let mut used = std::collections::BTreeSet::new();
-                                let mut rest = Vec::new();
-                                for g in groups {
-                                    if used.insert(g.1) {
-                                        batch.push(g);
-                                    } else {
-                                        rest.push(g);
-                                    }
-                                }
-                                groups = rest;
-                                let request = ReductionRequest::from_groups(
-                                    cols,
-                                    &batch
-                                        .iter()
-                                        .map(|(m, d, _)| (m.clone(), *d))
-                                        .collect::<Vec<_>>(),
-                                )
-                                .map_err(|e| ArchError::InvalidDataflow(e.to_string()))?;
-                                let config = match route_cache.get(&request) {
-                                    Some(hit) => hit.clone(),
-                                    None => {
-                                        let routed = birrd.route(&request).map_err(|e| {
-                                            ArchError::InvalidDataflow(e.to_string())
-                                        })?;
-                                        route_cache.insert(request.clone(), routed.clone());
-                                        routed
-                                    }
-                                };
-                                let inputs: Vec<Option<i64>> = (0..cols)
-                                    .map(|col| {
-                                        if batch.iter().any(|(mem, _, _)| mem.contains(&col)) {
-                                            fire.values[col].map(|v| v as i64)
-                                        } else {
-                                            None
-                                        }
-                                    })
-                                    .collect();
-                                let outputs = birrd
-                                    .evaluate(&config, &inputs)
-                                    .expect("routed config matches network");
-                                birrd_passes += 1;
-                                birrd_adds += config.adder_activations() as u64;
-                                oact.begin_cycle();
-                                for (_, bank, coord) in &batch {
-                                    let value = outputs[*bank].unwrap_or(0) as i32;
-                                    // In-situ accumulation in the output
-                                    // buffer across channel tiles.
-                                    let prev = oact.peek_coord(coord).unwrap_or(0);
-                                    oact.write_coord(coord, prev + value);
-                                }
-                                oact.flush_cycle();
-                                if !groups.is_empty() {
-                                    // An extra BIRRD pass serializes the fire.
-                                    cycles += 1;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-
-            let tile_timing = timing.tile(rs, fires_this_tile, rs, first_tile);
-            cycles += tile_timing.total();
-            first_tile = false;
-        }
-    }
-
-    Ok(CoreRun {
-        cycles,
-        birrd_passes,
-        birrd_adds,
-        macs: nest.total_macs(),
-    })
-}
-
-type Coord = BTreeMap<feather_arch::Dim, usize>;
-
-/// `(N, C, H, W)` coordinate map for an iAct element.
-pub(crate) fn iact_coord(n: usize, c: usize, h: usize, w: usize) -> Coord {
-    use feather_arch::Dim;
-    [(Dim::N, n), (Dim::C, c), (Dim::H, h), (Dim::W, w)]
-        .into_iter()
-        .collect()
-}
-
-/// `(N, M, P, Q)` coordinate map for an oAct element.
-pub(crate) fn oact_coord(n: usize, m: usize, p: usize, q: usize) -> Coord {
-    use feather_arch::Dim;
-    [(Dim::N, n), (Dim::M, m), (Dim::P, p), (Dim::Q, q)]
-        .into_iter()
-        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,702 @@
+//! The shared tile-loop core of the functional executor, optimized for
+//! evaluations-per-second:
+//!
+//! * **Compiled BIRRD routes** — every distinct reduction-reorder request is
+//!   routed once and lowered to a flat gather-sum program
+//!   ([`feather_birrd::CompiledRoute`]); steady-state fires are pure index
+//!   arithmetic over reusable scratch, with the programs shared across
+//!   layers (and worker threads) through a [`RouteCache`].
+//! * **Zero-alloc steady state** — weight staging, fire buses, reduction
+//!   groups and BIRRD input/output vectors live in span-lifetime scratch;
+//!   iAct/oAct addressing goes through precompiled per-dimension location
+//!   tables ([`feather_arch::layout::LocationPlan4`]) and precomputed
+//!   `h`/`w` coordinate tables instead of per-element coordinate maps.
+//! * **Thread-parallel sharding** — the outer `(weight-tile, batch)` loop is
+//!   sharded across `std::thread::scope` workers (the same no-registry
+//!   pattern as `layoutloop::PlanParallelism`). Each worker simulates its
+//!   shard on forked buffers ([`feather_memsim::FunctionalBuffer::fork`])
+//!   writing disjoint output regions, with private statistics and counters
+//!   merged at join; per-tile timing is reduced *after* the join from the
+//!   summed fire counts, so the parallel run is bit-identical to the serial
+//!   one — outputs, statistics and cycle counts alike.
+
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Range;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use feather_arch::layout::{Location, LocationPlan4};
+use feather_arch::tensor::Tensor4;
+use feather_arch::workload::ConvLayer;
+use feather_arch::{ArchError, Dim};
+use feather_birrd::{Birrd, CompiledRoute, ReductionRequest};
+use feather_memsim::{FunctionalBuffer, LayoutView};
+use feather_nest::{NestArray, NestTiming};
+
+use crate::config::FeatherConfig;
+use crate::mapping::LayerMapping;
+
+/// Raw counters produced by one pass of the inner tile loop.
+pub(crate) struct CoreRun {
+    /// Compute cycles (tile timings + serialized BIRRD passes), excluding
+    /// bank-conflict stalls — the caller charges those from the buffer stats.
+    pub cycles: u64,
+    /// Number of BIRRD passes (row fires that produced live outputs).
+    pub birrd_passes: u64,
+    /// Number of adder activations inside BIRRD.
+    pub birrd_adds: u64,
+    /// Useful MACs performed.
+    pub macs: u64,
+}
+
+/// A shared, thread-safe memo of compiled BIRRD route programs.
+///
+/// The controller replays the same handful of reduce-reorder patterns
+/// millions of times per layer and routing is deterministic per request, so
+/// one routed-and-compiled program per distinct request serves a whole
+/// network run — and, because sessions keep their cache in an [`Arc`],
+/// every subsequent run of the same session (and every segment of a graph
+/// session) too. Workers keep a lock-free local map in front of this shared
+/// map, so steady-state lookups never touch the lock.
+#[derive(Debug, Default)]
+pub(crate) struct RouteCache {
+    shared: RwLock<HashMap<ReductionRequest, Arc<CompiledRoute>>>,
+}
+
+/// The worker-local L1 in front of a [`RouteCache`].
+type LocalRoutes = HashMap<ReductionRequest, Arc<CompiledRoute>>;
+
+impl RouteCache {
+    pub(crate) fn new() -> Self {
+        RouteCache {
+            shared: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Resolves a request to its compiled program: worker-local map, then the
+    /// shared map, then route + compile (publishing the result to both). The
+    /// request is borrowed so the caller can reuse one scratch request across
+    /// fires; it is only cloned on the rare local-map miss.
+    fn lookup(
+        &self,
+        birrd: &Birrd,
+        request: &ReductionRequest,
+        local: &mut LocalRoutes,
+    ) -> Result<Arc<CompiledRoute>, ArchError> {
+        if let Some(hit) = local.get(request) {
+            return Ok(hit.clone());
+        }
+        let shared_hit = self
+            .shared
+            .read()
+            .expect("route cache poisoned")
+            .get(request)
+            .cloned();
+        let compiled = match shared_hit {
+            Some(hit) => hit,
+            None => {
+                let config = birrd
+                    .route(request)
+                    .map_err(|e| ArchError::InvalidDataflow(e.to_string()))?;
+                let compiled = Arc::new(
+                    CompiledRoute::compile(birrd.topology(), &config)
+                        .expect("routed configuration always matches the network shape"),
+                );
+                // Another worker may have routed the same request concurrently;
+                // keep whichever program landed first (they are identical —
+                // routing is deterministic).
+                self.shared
+                    .write()
+                    .expect("route cache poisoned")
+                    .entry(request.clone())
+                    .or_insert(compiled)
+                    .clone()
+            }
+        };
+        local.insert(request.clone(), compiled.clone());
+        Ok(compiled)
+    }
+}
+
+/// Number of worker threads the executor uses when none is requested
+/// explicitly: the `FEATHER_THREADS` environment variable if set to a
+/// positive integer, otherwise the machine's available parallelism
+/// (`FEATHER_THREADS=1` forces the serial path).
+pub fn default_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| match std::env::var("FEATHER_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => available_threads(),
+        },
+        Err(_) => available_threads(),
+    })
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Below this many (reference-kernel) MACs a layer is not worth forking
+/// buffers and spawning workers for; auto-threading falls back to serial.
+/// An explicit thread request always wins.
+const AUTO_PARALLEL_MIN_MACS: u64 = 16_384;
+
+/// Precompiles an iAct layout over a layer's `(N, C, H, W)` extents — the
+/// single source of the iAct coordinate order used by the executor.
+pub(crate) fn iact_plan(layout: &feather_arch::layout::Layout, layer: &ConvLayer) -> LocationPlan4 {
+    layout.plan4([
+        (Dim::N, layer.n),
+        (Dim::C, layer.c),
+        (Dim::H, layer.h),
+        (Dim::W, layer.w),
+    ])
+}
+
+/// Precompiles an oAct layout over a layer's `(N, M, P, Q)` extents — the
+/// single source of the oAct coordinate order used by the executor.
+pub(crate) fn oact_plan(layout: &feather_arch::layout::Layout, layer: &ConvLayer) -> LocationPlan4 {
+    layout.plan4([
+        (Dim::N, layer.n),
+        (Dim::M, layer.m),
+        (Dim::P, layer.output_height()),
+        (Dim::Q, layer.output_width()),
+    ])
+}
+
+/// Everything the tile loop needs that is immutable across the whole layer:
+/// tiling factors, the precompiled address plans, the padded-coordinate
+/// tables and the BIRRD instance. Shared by reference across workers.
+struct CoreCtx<'a> {
+    layer: &'a ConvLayer,
+    weights: &'a Tensor4<i8>,
+    rows: usize,
+    cols: usize,
+    m_rows: usize,
+    c_cols: usize,
+    q_cols: usize,
+    m_tiles: usize,
+    c_tiles: usize,
+    q_tiles: usize,
+    p_total: usize,
+    q_total: usize,
+    rs: usize,
+    depthwise: bool,
+    birrd: Birrd,
+    /// `(N, C, H, W)` location plan for the iAct view.
+    iact_plan: LocationPlan4,
+    /// `(N, M, P, Q)` location plan for the oAct view.
+    oact_plan: LocationPlan4,
+    /// `h_table[p * R + r]` = input row for output row `p` at kernel row `r`
+    /// (`None` inside the padding halo or past the input edge).
+    h_table: Vec<Option<usize>>,
+    /// `w_table[q * S + s]` = input column for output column `q` at kernel
+    /// column `s`.
+    w_table: Vec<Option<usize>>,
+}
+
+impl<'a> CoreCtx<'a> {
+    fn new(
+        config: &FeatherConfig,
+        layer: &'a ConvLayer,
+        mapping: &LayerMapping,
+        weights: &'a Tensor4<i8>,
+    ) -> Result<Self, ArchError> {
+        let rows = config.rows;
+        let cols = config.cols;
+        let p_total = layer.output_height();
+        let q_total = layer.output_width();
+        // Depthwise layers collapse the channel reduction: each output
+        // channel consumes only its own input channel.
+        let depthwise = layer.is_depthwise();
+        let c_cols = if depthwise { 1 } else { mapping.c_cols };
+        let q_cols = mapping.q_cols.min(cols / c_cols).max(1);
+        let m_rows = mapping.m_rows;
+        let m_tiles = layer.m.div_ceil(m_rows);
+        let c_tiles = if depthwise {
+            1
+        } else {
+            layer.c.div_ceil(c_cols)
+        };
+        let q_tiles = q_total.div_ceil(q_cols);
+        let birrd = Birrd::new(cols).map_err(|e| ArchError::InvalidDataflow(e.to_string()))?;
+
+        let iact_plan = iact_plan(&mapping.iact_layout, layer);
+        let oact_plan = oact_plan(&mapping.oact_layout, layer);
+        let in_bounds = |raw: usize, extent: usize| {
+            (raw >= layer.padding && raw - layer.padding < extent).then(|| raw - layer.padding)
+        };
+        let h_table = (0..p_total * layer.r)
+            .map(|i| in_bounds((i / layer.r) * layer.stride + i % layer.r, layer.h))
+            .collect();
+        let w_table = (0..q_total * layer.s)
+            .map(|i| in_bounds((i / layer.s) * layer.stride + i % layer.s, layer.w))
+            .collect();
+
+        Ok(CoreCtx {
+            layer,
+            weights,
+            rows,
+            cols,
+            m_rows,
+            c_cols,
+            q_cols,
+            m_tiles,
+            c_tiles,
+            q_tiles,
+            p_total,
+            q_total,
+            rs: layer.r * layer.s,
+            depthwise,
+            birrd,
+            iact_plan,
+            oact_plan,
+            h_table,
+            w_table,
+        })
+    }
+
+    /// Work units for sharding: one per `(weight tile, batch sample)` pair.
+    fn units(&self) -> usize {
+        self.m_tiles * self.layer.n
+    }
+}
+
+/// One reduction group of a row fire: the column-lane span it gathers from,
+/// the StaB bank its sum must reach, and the output cell it accumulates into.
+#[derive(Clone, Copy)]
+struct FireGroup {
+    q_lane: usize,
+    bank: usize,
+    loc: Location,
+}
+
+/// Per-worker result: everything needed to reconstruct the serial counters.
+struct SpanAccum {
+    /// Row fires per `(wt_m, wt_c)` tile (index `wt_m * c_tiles + wt_c`);
+    /// tile timing is derived from the *summed* counts after the join so the
+    /// shard boundaries never show up in the cycle model.
+    tile_fires: Vec<u64>,
+    /// Serialization cycles charged for multi-batch BIRRD fires.
+    extra_cycles: u64,
+    birrd_passes: u64,
+    birrd_adds: u64,
+    macs: u64,
+}
+
+/// The inner tile loop shared by the single-layer entry point and the
+/// network-level pipeline executor: weight-stationary tiling over `(M, C)`,
+/// Phase-1 local temporal reduction in NEST, Phase-2 row fires through BIRRD
+/// with Reorder-in-Reduction into the output view.
+///
+/// `iact` is the active StaB half (the layer's inputs, already staged in
+/// `mapping.iact_layout`); `oact` is the shadow half the reduced outputs land
+/// in, addressed by `mapping.oact_layout`. `route_cache` memoizes compiled
+/// BIRRD programs per reduction-reorder request. `expose_first_weight_load`
+/// charges the cold weight load of the first tile; a pipelined layer whose
+/// weights were prefetched during the previous layer passes `false`.
+/// `threads` requests an exact worker count (`Some(1)` forces serial); `None`
+/// auto-sizes from [`default_threads`] for layers with enough work.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_conv_core(
+    config: &FeatherConfig,
+    layer: &ConvLayer,
+    mapping: &LayerMapping,
+    weights: &Tensor4<i8>,
+    iact: &mut LayoutView<'_, i32>,
+    oact: &mut LayoutView<'_, i32>,
+    route_cache: &RouteCache,
+    expose_first_weight_load: bool,
+    threads: Option<usize>,
+) -> Result<CoreRun, ArchError> {
+    let ctx = CoreCtx::new(config, layer, mapping, weights)?;
+    let units_total = ctx.units();
+    let requested = match threads {
+        Some(n) => n.max(1),
+        None if reference_macs(layer) >= AUTO_PARALLEL_MIN_MACS => default_threads(),
+        None => 1,
+    };
+    let workers = requested.min(units_total);
+
+    let spans = if workers <= 1 {
+        vec![run_span(&ctx, 0..units_total, iact, oact, route_cache)?]
+    } else {
+        run_sharded(&ctx, mapping, workers, iact, oact, route_cache)?
+    };
+
+    // Reduce: sum the fire counts per tile across workers, then charge each
+    // tile's timing once — exactly what the serial loop computes inline.
+    let timing = NestTiming::new(ctx.rows, ctx.cols, ctx.birrd.latency_cycles());
+    let mut run = CoreRun {
+        cycles: 0,
+        birrd_passes: 0,
+        birrd_adds: 0,
+        macs: 0,
+    };
+    let mut tile_fires = vec![0u64; ctx.m_tiles * ctx.c_tiles];
+    for span in &spans {
+        for (tile, fires) in span.tile_fires.iter().enumerate() {
+            tile_fires[tile] += fires;
+        }
+        run.cycles += span.extra_cycles;
+        run.birrd_passes += span.birrd_passes;
+        run.birrd_adds += span.birrd_adds;
+        run.macs += span.macs;
+    }
+    for (tile, &fires) in tile_fires.iter().enumerate() {
+        let first_tile = tile == 0 && expose_first_weight_load;
+        run.cycles += timing.tile(ctx.rs, fires, ctx.rs, first_tile).total();
+    }
+    Ok(run)
+}
+
+/// MACs of the reference kernel for this layer — the work estimate behind the
+/// auto-parallelism threshold.
+fn reference_macs(layer: &ConvLayer) -> u64 {
+    let c_red = if layer.is_depthwise() { 1 } else { layer.c };
+    (layer.n * layer.m * layer.output_height() * layer.output_width()) as u64
+        * (c_red * layer.r * layer.s) as u64
+}
+
+/// Runs the span `0..units` split across `workers` scoped threads, each on
+/// forked buffers, and absorbs data + statistics back into the real views.
+fn run_sharded(
+    ctx: &CoreCtx<'_>,
+    mapping: &LayerMapping,
+    workers: usize,
+    iact: &mut LayoutView<'_, i32>,
+    oact: &mut LayoutView<'_, i32>,
+    route_cache: &RouteCache,
+) -> Result<Vec<SpanAccum>, ArchError> {
+    let units_total = ctx.units();
+    let chunk = units_total.div_ceil(workers);
+    let ranges: Vec<Range<usize>> = (0..workers)
+        .map(|w| (w * chunk)..((w + 1) * chunk).min(units_total))
+        .filter(|r| !r.is_empty())
+        .collect();
+    let idims = ctx.layer.iact_dim_sizes();
+    let odims = ctx.layer.oact_dim_sizes();
+    // Pristine pre-fork copies: worker changes are diffed against these at
+    // the join, so absorbing one worker can never revert another's writes.
+    let ibase = iact.fork_buffer();
+    let obase = oact.fork_buffer();
+
+    type WorkerOut = Result<(SpanAccum, FunctionalBuffer<i32>, FunctionalBuffer<i32>), ArchError>;
+    let outcomes: Vec<WorkerOut> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|units| {
+                let mut ibuf = ibase.fork();
+                let mut obuf = obase.fork();
+                let (idims, odims) = (&idims, &odims);
+                scope.spawn(move || -> WorkerOut {
+                    let accum = {
+                        let mut iview = LayoutView::new(&mut ibuf, &mapping.iact_layout, idims);
+                        let mut oview = LayoutView::new(&mut obuf, &mapping.oact_layout, odims);
+                        run_span(ctx, units, &mut iview, &mut oview, route_cache)?
+                    };
+                    Ok((accum, ibuf, obuf))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("executor worker panicked"))
+            .collect()
+    });
+
+    let mut spans = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        let (accum, ibuf, obuf) = outcome?;
+        iact.absorb(&ibuf, &ibase);
+        oact.absorb(&obuf, &obase);
+        spans.push(accum);
+    }
+    Ok(spans)
+}
+
+/// Simulates the contiguous unit range `units` (units flatten the
+/// `(wt_m, n)` loop, `n` innermost). This is the whole hot loop; everything
+/// it allocates lives for the span.
+fn run_span(
+    ctx: &CoreCtx<'_>,
+    units: Range<usize>,
+    iact: &mut LayoutView<'_, i32>,
+    oact: &mut LayoutView<'_, i32>,
+    routes: &RouteCache,
+) -> Result<SpanAccum, ArchError> {
+    let cols = ctx.cols;
+    let layer = ctx.layer;
+    let mut nest = NestArray::new(ctx.rows, cols);
+    let mut accum = SpanAccum {
+        tile_fires: vec![0; ctx.m_tiles * ctx.c_tiles],
+        extra_cycles: 0,
+        birrd_passes: 0,
+        birrd_adds: 0,
+        macs: 0,
+    };
+    let mut local_routes: LocalRoutes = HashMap::new();
+
+    // Span-lifetime scratch: the steady state below is allocation-free (the
+    // one exception is the reused lookup request's tiny destination map,
+    // whose `BTreeMap` nodes reallocate per batch).
+    let mut w_scratch = vec![0i8; ctx.rs];
+    let mut mapped = vec![false; cols];
+    let mut bus: Vec<Option<i32>> = vec![None; cols];
+    let mut inputs: Vec<Option<i64>> = vec![None; cols];
+    let mut outputs: Vec<Option<i64>> = vec![None; cols];
+    let mut groups: Vec<FireGroup> = Vec::with_capacity(ctx.q_cols);
+    let mut batch: Vec<FireGroup> = Vec::with_capacity(ctx.q_cols);
+    let mut pending: Vec<FireGroup> = Vec::with_capacity(ctx.q_cols);
+    let mut bank_used = vec![false; cols];
+    let mut request = ReductionRequest {
+        input_groups: vec![None; cols],
+        group_destinations: BTreeMap::new(),
+    };
+
+    let n_total = layer.n;
+    let mut unit = units.start;
+    while unit < units.end {
+        let wt_m = unit / n_total;
+        let n_range = (unit % n_total)..(units.end - wt_m * n_total).min(n_total);
+        unit = wt_m * n_total + n_range.end;
+
+        for wt_c in 0..ctx.c_tiles {
+            stage_weights(ctx, &mut nest, wt_m, wt_c, &mut w_scratch);
+            let tile = wt_m * ctx.c_tiles + wt_c;
+
+            for n in n_range.clone() {
+                for p in 0..ctx.p_total {
+                    for qt in 0..ctx.q_tiles {
+                        // ---- Phase 1: local temporal reduction ----
+                        for rs_step in 0..ctx.rs {
+                            let r_i = rs_step / layer.s;
+                            let s_i = rs_step % layer.s;
+                            let h = ctx.h_table[p * layer.r + r_i];
+                            iact.begin_cycle();
+                            if let Some(h) = h {
+                                phase1_step(
+                                    ctx, &mut nest, iact, wt_m, wt_c, n, h, s_i, qt, rs_step,
+                                );
+                            }
+                            iact.flush_cycle();
+                        }
+
+                        // ---- Phase 2: row fires through BIRRD (RIR) ----
+                        for m_lane in 0..ctx.m_rows {
+                            let m = wt_m * ctx.m_rows + m_lane;
+                            for (col, slot) in mapped.iter_mut().enumerate() {
+                                let q_lane = col / ctx.c_cols;
+                                let q = qt * ctx.q_cols + q_lane;
+                                let c = if ctx.depthwise {
+                                    m
+                                } else {
+                                    wt_c * ctx.c_cols + col % ctx.c_cols
+                                };
+                                *slot = q_lane < ctx.q_cols
+                                    && q < ctx.q_total
+                                    && m < layer.m
+                                    && c < layer.c;
+                            }
+                            nest.fire_row_into(m_lane, &mapped, &mut bus);
+                            accum.tile_fires[tile] += 1;
+                            if m >= layer.m {
+                                continue;
+                            }
+
+                            // Build the reduction groups: one per live
+                            // q_lane, destination = the StaB bank the oAct
+                            // lands in under the next layer's layout.
+                            groups.clear();
+                            for q_lane in 0..ctx.q_cols {
+                                let q = qt * ctx.q_cols + q_lane;
+                                if q >= ctx.q_total {
+                                    continue;
+                                }
+                                let lane = q_lane * ctx.c_cols;
+                                if !mapped[lane..lane + ctx.c_cols].iter().any(|&b| b) {
+                                    continue;
+                                }
+                                let loc = ctx.oact_plan.location([n, m, p, q]);
+                                groups.push(FireGroup {
+                                    q_lane,
+                                    bank: loc.offset % cols,
+                                    loc,
+                                });
+                            }
+
+                            // Split into batches with unique destination
+                            // banks (a concordant mapping needs one batch).
+                            while !groups.is_empty() {
+                                batch.clear();
+                                pending.clear();
+                                bank_used.fill(false);
+                                for g in groups.drain(..) {
+                                    if !bank_used[g.bank] {
+                                        bank_used[g.bank] = true;
+                                        batch.push(g);
+                                    } else {
+                                        pending.push(g);
+                                    }
+                                }
+                                std::mem::swap(&mut groups, &mut pending);
+
+                                request.input_groups.fill(None);
+                                request.group_destinations.clear();
+                                for (gid, g) in batch.iter().enumerate() {
+                                    let lane = g.q_lane * ctx.c_cols;
+                                    let span = lane..lane + ctx.c_cols;
+                                    for (live, slot) in mapped[span.clone()]
+                                        .iter()
+                                        .zip(&mut request.input_groups[span])
+                                    {
+                                        if *live {
+                                            *slot = Some(gid);
+                                        }
+                                    }
+                                    request.group_destinations.insert(gid, g.bank);
+                                }
+                                let route =
+                                    routes.lookup(&ctx.birrd, &request, &mut local_routes)?;
+
+                                inputs.fill(None);
+                                for g in &batch {
+                                    let lane = g.q_lane * ctx.c_cols;
+                                    for col in lane..lane + ctx.c_cols {
+                                        if mapped[col] {
+                                            inputs[col] = bus[col].map(|v| v as i64);
+                                        }
+                                    }
+                                }
+                                route
+                                    .run(&inputs, &mut outputs)
+                                    .expect("compiled route matches the network width");
+                                accum.birrd_passes += 1;
+                                accum.birrd_adds += route.adder_activations() as u64;
+
+                                oact.begin_cycle();
+                                for g in &batch {
+                                    let value = outputs[g.bank].unwrap_or(0) as i32;
+                                    // In-situ accumulation in the output
+                                    // buffer across channel tiles.
+                                    let prev = oact.peek_at(g.loc).unwrap_or(0);
+                                    oact.write_at(g.loc, prev + value);
+                                }
+                                oact.flush_cycle();
+                                if !groups.is_empty() {
+                                    // An extra BIRRD pass serializes the fire.
+                                    accum.extra_cycles += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    accum.macs = nest.total_macs();
+    Ok(accum)
+}
+
+/// One Phase-1 `rs_step` of a `(n, p, qt)` pixel group: feed every mapped PE
+/// its iAct and advance the local temporal reduction. The input row `h` is
+/// already validated against the padding halo.
+#[allow(clippy::too_many_arguments)]
+fn phase1_step(
+    ctx: &CoreCtx<'_>,
+    nest: &mut NestArray,
+    iact: &mut LayoutView<'_, i32>,
+    wt_m: usize,
+    wt_c: usize,
+    n: usize,
+    h: usize,
+    s_i: usize,
+    qt: usize,
+    rs_step: usize,
+) {
+    let layer = ctx.layer;
+    let m_base = wt_m * ctx.m_rows;
+    if m_base >= layer.m {
+        return;
+    }
+    let m_lanes = ctx.m_rows.min(layer.m - m_base);
+    for q_lane in 0..ctx.q_cols {
+        let q = qt * ctx.q_cols + q_lane;
+        if q >= ctx.q_total {
+            continue;
+        }
+        let Some(w) = ctx.w_table[q * layer.s + s_i] else {
+            continue;
+        };
+        for c_lane in 0..ctx.c_cols {
+            let col = q_lane * ctx.c_cols + c_lane;
+            if ctx.depthwise {
+                // Each output channel reads its own input channel.
+                for m_lane in 0..m_lanes {
+                    let c = m_base + m_lane;
+                    if c >= layer.c {
+                        continue;
+                    }
+                    let value = iact
+                        .read_at(ctx.iact_plan.location([n, c, h, w]))
+                        .unwrap_or(0);
+                    nest.mac(m_lane, col, value as i8, rs_step);
+                }
+            } else {
+                // The same iAct is shared by every row: one accounted read,
+                // broadcast to all mapped rows.
+                let c = wt_c * ctx.c_cols + c_lane;
+                if c >= layer.c {
+                    continue;
+                }
+                let value = iact
+                    .read_at(ctx.iact_plan.location([n, c, h, w]))
+                    .unwrap_or(0);
+                for m_lane in 0..m_lanes {
+                    nest.mac(m_lane, col, value as i8, rs_step);
+                }
+            }
+        }
+    }
+}
+
+/// Stages one `(wt_m, wt_c)` weight tile into the NEST shadow registers and
+/// swaps it in. Fully out-of-range `(m, c)` lanes are skipped outright: they
+/// neither MAC nor drive the bus, so their stale registers are never read —
+/// no need to stage zero vectors for ragged tail tiles.
+fn stage_weights(
+    ctx: &CoreCtx<'_>,
+    nest: &mut NestArray,
+    wt_m: usize,
+    wt_c: usize,
+    w_scratch: &mut [i8],
+) {
+    let layer = ctx.layer;
+    for m_lane in 0..ctx.m_rows {
+        let m = wt_m * ctx.m_rows + m_lane;
+        for q_lane in 0..ctx.q_cols {
+            for c_lane in 0..ctx.c_cols {
+                let c = if ctx.depthwise {
+                    m
+                } else {
+                    wt_c * ctx.c_cols + c_lane
+                };
+                if m >= layer.m || c >= layer.c {
+                    continue;
+                }
+                for r in 0..layer.r {
+                    for s in 0..layer.s {
+                        w_scratch[r * layer.s + s] = if ctx.depthwise {
+                            ctx.weights.get(c, 0, r, s)
+                        } else {
+                            ctx.weights.get(m, c, r, s)
+                        };
+                    }
+                }
+                nest.load_weights(m_lane, q_lane * ctx.c_cols + c_lane, w_scratch);
+            }
+        }
+    }
+    nest.swap_all_weights();
+}

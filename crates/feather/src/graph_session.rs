@@ -168,6 +168,9 @@ impl GraphSession {
             }
         }
 
+        // One compiled-route memo for the whole graph: segments share the
+        // array width, so their reduce-reorder patterns overlap heavily.
+        let route_cache = std::sync::Arc::new(crate::core::RouteCache::new());
         let mut compiled = Vec::with_capacity(segments.len());
         for seg in &segments {
             let mut steps = Vec::with_capacity(seg.nodes.len());
@@ -194,9 +197,11 @@ impl GraphSession {
                 };
                 steps.push((conv, mapping));
             }
+            let mut session = NetworkSession::from_mappings(config, steps)?;
+            session.share_route_cache(route_cache.clone());
             compiled.push(SegmentExec {
                 segment: seg.clone(),
-                session: NetworkSession::from_mappings(config, steps)?,
+                session,
             });
         }
 
@@ -240,6 +245,16 @@ impl GraphSession {
     /// The boundary quantization parameters `(shift, zero_point)`.
     pub fn quantization(&self) -> (u32, i8) {
         (self.quant_shift, self.quant_zero)
+    }
+
+    /// Pins the executor's worker-thread count for every segment (builder
+    /// style) — see [`NetworkSession::with_threads`]. `1` forces the serial
+    /// path; the parallel run is bit-identical either way.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        for seg in &mut self.segments {
+            seg.session.set_threads(threads);
+        }
+        self
     }
 
     /// The hardware configuration.

@@ -51,11 +51,13 @@
 
 pub mod accelerator;
 pub mod config;
+mod core;
 pub mod graph_session;
 pub mod mapping;
 pub mod report;
 pub mod session;
 
+pub use crate::core::default_threads;
 pub use accelerator::Feather;
 pub use config::FeatherConfig;
 pub use graph_session::GraphSession;

@@ -44,7 +44,7 @@
 //! assert!(run.report.dram_activation_bytes() < run.report.layer_at_a_time_activation_bytes());
 //! ```
 
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use feather_arch::dataflow::Dataflow;
 use feather_arch::dims::Operand;
@@ -53,13 +53,11 @@ use feather_arch::layout::Layout;
 use feather_arch::tensor::{quantize_to_i8, quantize_value, Tensor4};
 use feather_arch::workload::ConvLayer;
 use feather_arch::{ArchError, DataType};
-use feather_birrd::{NetworkConfig, ReductionRequest};
 use feather_memsim::{AccessStats, Banking, BufferSpec, LayoutView, PingPong};
 
-use crate::accelerator::{
-    check_weight_shape, iact_coord, oact_coord, run_conv_core, CoreRun, Feather,
-};
+use crate::accelerator::{check_weight_shape, Feather};
 use crate::config::FeatherConfig;
+use crate::core::{run_conv_core, CoreRun, RouteCache};
 use crate::mapping::LayerMapping;
 use crate::report::{LayerSummary, NetworkReport, NetworkRun, RunReport};
 
@@ -78,6 +76,13 @@ pub struct NetworkSession {
     steps: Vec<(ConvLayer, LayerMapping)>,
     quant_shift: u32,
     quant_zero: i8,
+    /// Explicit executor worker count; `None` auto-sizes per layer (the
+    /// `FEATHER_THREADS` environment variable, else all cores, with small
+    /// layers staying serial).
+    threads: Option<usize>,
+    /// Compiled BIRRD route programs, shared across this session's layers,
+    /// runs, worker threads — and sibling sessions of a graph.
+    route_cache: Arc<RouteCache>,
 }
 
 impl NetworkSession {
@@ -126,6 +131,8 @@ impl NetworkSession {
             steps,
             quant_shift: DEFAULT_QUANT_SHIFT,
             quant_zero: 0,
+            threads: None,
+            route_cache: Arc::new(RouteCache::new()),
         })
     }
 
@@ -236,6 +243,27 @@ impl NetworkSession {
         (self.quant_shift, self.quant_zero)
     }
 
+    /// Pins the executor's worker-thread count (builder style). `1` forces
+    /// the serial path; higher counts shard each layer's `(weight-tile,
+    /// batch)` loop across that many `std::thread::scope` workers. The
+    /// parallel run is bit-identical to the serial one — outputs, access
+    /// statistics and cycle counts alike (enforced by the
+    /// `parallel_equivalence` suite).
+    ///
+    /// Without an explicit pin the executor auto-sizes per layer: the
+    /// `FEATHER_THREADS` environment variable if set, otherwise all available
+    /// cores, with small layers staying serial to skip the fork overhead.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.set_threads(threads);
+        self
+    }
+
+    /// In-place form of [`NetworkSession::with_threads`] (no session clone —
+    /// how a graph session pins every segment's worker count).
+    pub(crate) fn set_threads(&mut self, threads: usize) {
+        self.threads = Some(threads.max(1));
+    }
+
     /// Returns a copy of the session with every layer's batch size replaced:
     /// the same staged weights serve all `n` samples of each tile.
     ///
@@ -251,7 +279,15 @@ impl NetworkSession {
         let mut session = NetworkSession::from_mappings(self.config, steps)?;
         session.quant_shift = self.quant_shift;
         session.quant_zero = self.quant_zero;
+        session.threads = self.threads;
+        session.route_cache = self.route_cache.clone();
         Ok(session)
+    }
+
+    /// Makes this session resolve BIRRD routes through `cache` — how a graph
+    /// session shares one compiled-route memo across all its segments.
+    pub(crate) fn share_route_cache(&mut self, cache: Arc<RouteCache>) {
+        self.route_cache = cache;
     }
 
     /// The resolved `(layer, mapping)` chain, in execution order.
@@ -306,13 +342,12 @@ impl NetworkSession {
             let (active, _) = stab.split_mut();
             let idims = first_layer.iact_dim_sizes();
             let mut view = LayoutView::new(active, &self.steps[0].1.iact_layout, &idims);
-            iacts.for_each(|[n, c, h, w], v| {
-                view.write_coord(&iact_coord(n, c, h, w), v as i32);
-            });
+            let plan = crate::core::iact_plan(&self.steps[0].1.iact_layout, first_layer);
+            iacts.for_each(|coord, v| view.write_at(plan.location(coord), v as i32));
             view.flush_cycle();
         }
 
-        let mut route_cache: BTreeMap<ReductionRequest, NetworkConfig> = BTreeMap::new();
+        let route_cache = &*self.route_cache;
         let mut summaries: Vec<LayerSummary> = Vec::with_capacity(self.steps.len());
         let num_layers = self.steps.len();
 
@@ -343,11 +378,12 @@ impl NetworkSession {
                     layer_weights,
                     &mut iact_view,
                     &mut oact_view,
-                    &mut route_cache,
+                    route_cache,
                     // Only the very first tile's weight load is exposed: a
                     // pipelined layer's weights prefetch into the NEST shadow
                     // registers while the previous layer drains.
                     i == 0,
+                    self.threads,
                 )?
             };
 
@@ -369,9 +405,11 @@ impl NetworkSession {
                 let (shift, zero) = (self.quant_shift, self.quant_zero);
                 let shadow = stab.shadow();
                 let mut view = LayoutView::new(shadow, &mapping.oact_layout, &odims);
+                let plan = crate::core::oact_plan(&mapping.oact_layout, layer);
                 for_each_oact(layer, |coord| {
-                    let acc = view.peek_coord(&coord).unwrap_or(0);
-                    view.poke_coord(&coord, quantize_value(acc, shift, zero) as i32);
+                    let loc = plan.location(coord);
+                    let acc = view.peek_at(loc).unwrap_or(0);
+                    view.poke_at(loc, quantize_value(acc, shift, zero) as i32);
                 });
             }
             stab.swap();
@@ -384,6 +422,7 @@ impl NetworkSession {
         let oacts = {
             let (active, _) = stab.split_mut();
             let view = LayoutView::new(active, &last_mapping.oact_layout, &odims);
+            let plan = crate::core::oact_plan(&last_mapping.oact_layout, last_layer);
             Tensor4::from_fn(
                 [
                     last_layer.n,
@@ -391,7 +430,7 @@ impl NetworkSession {
                     last_layer.output_height(),
                     last_layer.output_width(),
                 ],
-                |n, m, p, q| view.peek_coord(&oact_coord(n, m, p, q)).unwrap_or(0),
+                |n, m, p, q| view.peek_at(plan.location([n, m, p, q])).unwrap_or(0),
             )
         };
 
@@ -535,12 +574,12 @@ impl NetworkSession {
 }
 
 /// Visits every oAct coordinate of a layer in `(N, M, P, Q)` order.
-fn for_each_oact(layer: &ConvLayer, mut f: impl FnMut(BTreeMap<feather_arch::Dim, usize>)) {
+fn for_each_oact(layer: &ConvLayer, mut f: impl FnMut([usize; 4])) {
     for n in 0..layer.n {
         for m in 0..layer.m {
             for p in 0..layer.output_height() {
                 for q in 0..layer.output_width() {
-                    f(oact_coord(n, m, p, q));
+                    f([n, m, p, q]);
                 }
             }
         }

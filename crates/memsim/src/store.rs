@@ -167,28 +167,33 @@ impl<'a, T: Copy> LayoutView<'a, T> {
     }
 
     /// Begins a new simulated cycle on the underlying buffer.
+    #[inline]
     pub fn begin_cycle(&mut self) {
         self.buffer.begin_cycle();
     }
 
     /// Flushes the current cycle's conflict accounting.
+    #[inline]
     pub fn flush_cycle(&mut self) {
         self.buffer.flush_cycle();
     }
 
     /// Writes a value at a logical coordinate.
+    #[inline]
     pub fn write_coord(&mut self, coord: &BTreeMap<Dim, usize>, value: T) {
         let loc = self.location(coord);
         self.buffer.write(loc.line, loc.offset, value);
     }
 
     /// Reads the value at a logical coordinate (`None` if never written).
+    #[inline]
     pub fn read_coord(&mut self, coord: &BTreeMap<Dim, usize>) -> Option<T> {
         let loc = self.location(coord);
         self.buffer.read(loc.line, loc.offset)
     }
 
     /// Peeks without recording an access.
+    #[inline]
     pub fn peek_coord(&self, coord: &BTreeMap<Dim, usize>) -> Option<T> {
         let loc = self.location(coord);
         self.buffer.peek(loc.line, loc.offset)
@@ -196,9 +201,56 @@ impl<'a, T: Copy> LayoutView<'a, T> {
 
     /// Writes without recording an access (see
     /// [`FunctionalBuffer::poke`](crate::buffer::FunctionalBuffer::poke)).
+    #[inline]
     pub fn poke_coord(&mut self, coord: &BTreeMap<Dim, usize>, value: T) {
         let loc = self.location(coord);
         self.buffer.poke(loc.line, loc.offset, value);
+    }
+
+    // --- Location-addressed fast path -----------------------------------
+    //
+    // Hot loops precompute `Location`s (e.g. via
+    // `feather_arch::layout::LocationPlan4`) instead of building a coordinate
+    // map per element; these accessors are the matching buffer entry points.
+
+    /// Reads at a precomputed location (`None` if never written).
+    #[inline]
+    pub fn read_at(&mut self, loc: Location) -> Option<T> {
+        self.buffer.read(loc.line, loc.offset)
+    }
+
+    /// Writes at a precomputed location.
+    #[inline]
+    pub fn write_at(&mut self, loc: Location, value: T) {
+        self.buffer.write(loc.line, loc.offset, value);
+    }
+
+    /// Peeks at a precomputed location without recording an access.
+    #[inline]
+    pub fn peek_at(&self, loc: Location) -> Option<T> {
+        self.buffer.peek(loc.line, loc.offset)
+    }
+
+    /// Writes at a precomputed location without recording an access.
+    #[inline]
+    pub fn poke_at(&mut self, loc: Location, value: T) {
+        self.buffer.poke(loc.line, loc.offset, value);
+    }
+
+    /// Forks the underlying buffer for a parallel worker (see
+    /// [`FunctionalBuffer::fork`]); pair with [`LayoutView::absorb`].
+    pub fn fork_buffer(&self) -> FunctionalBuffer<T> {
+        self.buffer.fork()
+    }
+
+    /// Merges a forked worker buffer back into the underlying buffer (see
+    /// [`FunctionalBuffer::absorb`]); `base` is the pristine pre-fork copy
+    /// the workers' changes are diffed against.
+    pub fn absorb(&mut self, worker: &FunctionalBuffer<T>, base: &FunctionalBuffer<T>)
+    where
+        T: PartialEq,
+    {
+        self.buffer.absorb(worker, base);
     }
 }
 

@@ -106,25 +106,31 @@ impl NestArray {
     /// column buses (Phase 2). `mapped` marks which columns actually carry
     /// data under the current dataflow; unmapped columns yield `None`.
     pub fn fire_row(&mut self, row: usize, mapped: &[bool]) -> RowFire {
+        let mut values = vec![None; self.cols];
+        self.fire_row_into(row, mapped, &mut values);
+        RowFire { row, values }
+    }
+
+    /// [`NestArray::fire_row`] writing into caller-owned scratch instead of
+    /// allocating a fresh bus vector — the hot-loop variant: the executor
+    /// fires one row per (pixel, tile) step, millions of times per layer.
+    ///
+    /// # Panics
+    /// Panics if `mapped` or `bus` do not have one entry per column.
+    pub fn fire_row_into(&mut self, row: usize, mapped: &[bool], bus: &mut [Option<i32>]) {
         assert_eq!(
             mapped.len(),
             self.cols,
             "mapped mask must have one entry per column"
         );
-        let values = (0..self.cols)
-            .map(|col| {
-                if mapped[col] {
-                    Some(self.pe_mut(row, col).fire())
-                } else {
-                    // Drain anyway so stale partial sums never leak into the
-                    // next tile, but put nothing on the bus.
-                    self.pe_mut(row, col).fire();
-                    None
-                }
-            })
-            .collect();
+        assert_eq!(bus.len(), self.cols, "bus must have one slot per column");
+        for (col, slot) in bus.iter_mut().enumerate() {
+            // Unmapped PEs drain anyway so stale partial sums never leak into
+            // the next tile, but put nothing on the bus.
+            let value = self.pe_mut(row, col).fire();
+            *slot = if mapped[col] { Some(value) } else { None };
+        }
         self.fires += 1;
-        RowFire { row, values }
     }
 
     /// Total MACs performed by all PEs.

@@ -1,0 +1,180 @@
+//! The thread-parallel executor's contract: sharding a layer's
+//! `(weight-tile, batch)` loop across `std::thread::scope` workers is
+//! *bit-identical* to the serial path — output activations, buffer access
+//! statistics (including conflict-stall cycles), cycle counts and energy all
+//! match exactly, because workers simulate disjoint output regions on forked
+//! buffers and per-tile timing is reduced from the summed fire counts after
+//! the join.
+
+use feather::{FeatherConfig, GraphSession, NetworkSession};
+use feather_arch::graph::Graph;
+use feather_arch::tensor::Tensor4;
+use feather_arch::workload::ConvLayer;
+use proptest::prelude::*;
+
+/// Builds a single-layer session over the paper's weight-stationary mapping
+/// with a channels-last iAct layout sized to the layer.
+fn session_for(layer: &ConvLayer, cfg: FeatherConfig) -> NetworkSession {
+    let iact_layout = format!("HWC_C{}", layer.c.min(cfg.cols));
+    let oact_layout = format!("MPQ_Q{}", layer.output_width().min(cfg.cols));
+    NetworkSession::weight_stationary(
+        cfg,
+        std::slice::from_ref(layer),
+        &[iact_layout.as_str()],
+        &oact_layout,
+    )
+    .expect("generated layer maps onto FEATHER")
+}
+
+fn weights_for(layer: &ConvLayer, seed: u64) -> Tensor4<i8> {
+    let shape = if layer.is_depthwise() {
+        [layer.c, 1, layer.r, layer.s]
+    } else {
+        [layer.m, layer.c, layer.r, layer.s]
+    };
+    Tensor4::random(shape, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial(
+        n in 1usize..4,
+        m in 1usize..10,
+        c in 1usize..10,
+        hw in 4usize..9,
+        k_pick in 0usize..3,
+        stride in 1usize..3,
+        dw_pick in 0usize..4,
+        worker_pick in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let k = [1usize, 3, 5][k_pick];
+        let depthwise = dw_pick == 0;
+        // Padded whenever the kernel needs it; depthwise ties M to C.
+        let layer = if depthwise {
+            ConvLayer::new(n, c, c, hw, hw, k, k)
+                .with_stride(stride)
+                .with_padding(k / 2)
+                .depthwise()
+        } else {
+            ConvLayer::new(n, m, c, hw, hw, k, k)
+                .with_stride(stride)
+                .with_padding(k / 2)
+        };
+        let cfg = FeatherConfig::new(4, 8);
+        let iacts = Tensor4::random([layer.n, layer.c, layer.h, layer.w], seed);
+        let weights = vec![weights_for(&layer, seed + 71)];
+
+        let serial = session_for(&layer, cfg).with_threads(1);
+        let golden = serial.run(&iacts, &weights).unwrap();
+
+        // Both an even and a deliberately ragged worker count (3 rarely
+        // divides the unit count), plus an oversubscribed one.
+        let workers = [2usize, 3, 7][worker_pick];
+        let parallel = session_for(&layer, cfg).with_threads(workers);
+        let run = parallel.run(&iacts, &weights).unwrap();
+
+        prop_assert_eq!(&run.oacts, &golden.oacts);
+        // The whole report — per-layer cycles, stalls, access statistics,
+        // DRAM accounting and energy — must match, not just the outputs.
+        prop_assert_eq!(&run.report, &golden.report);
+    }
+}
+
+#[test]
+fn parallel_pipeline_chain_matches_serial() {
+    // Multi-layer chain: the route cache is shared across layers and worker
+    // threads; outputs and reports must still match the serial run.
+    let layers = vec![
+        ConvLayer::new(2, 8, 4, 8, 8, 3, 3)
+            .with_padding(1)
+            .with_name("c0"),
+        ConvLayer::new(2, 4, 8, 8, 8, 1, 1).with_name("c1"),
+        ConvLayer::new(2, 4, 4, 8, 8, 3, 3)
+            .with_padding(1)
+            .with_name("c2"),
+    ];
+    let cfg = FeatherConfig::new(4, 8);
+    let iact_layouts = ["HWC_C4", "HWC_C8", "HWC_C4"];
+    let build =
+        || NetworkSession::weight_stationary(cfg, &layers, &iact_layouts, "MPQ_Q8").unwrap();
+    let iacts = Tensor4::random([2, 4, 8, 8], 31);
+    let weights: Vec<Tensor4<i8>> = layers
+        .iter()
+        .enumerate()
+        .map(|(i, l)| Tensor4::random([l.m, l.c, l.r, l.s], 40 + i as u64))
+        .collect();
+
+    let golden = build().with_threads(1).run(&iacts, &weights).unwrap();
+    for workers in [2, 4, 5] {
+        let run = build().with_threads(workers).run(&iacts, &weights).unwrap();
+        assert_eq!(run.oacts, golden.oacts, "{workers} workers diverged");
+        assert_eq!(
+            run.report, golden.report,
+            "{workers} workers changed the report"
+        );
+    }
+}
+
+#[test]
+fn parallel_graph_session_matches_serial() {
+    // A residual graph: joins, scratch parking and shared route caches on
+    // top of the parallel core.
+    let mut g = Graph::new("par_residual", [2, 4, 6, 6]);
+    let stem = g
+        .conv(
+            g.input(),
+            ConvLayer::new(2, 4, 4, 6, 6, 3, 3)
+                .with_padding(1)
+                .with_name("stem"),
+        )
+        .unwrap();
+    let main = g
+        .conv(stem, ConvLayer::new(2, 8, 4, 6, 6, 1, 1).with_name("main"))
+        .unwrap();
+    let proj = g
+        .conv(stem, ConvLayer::new(2, 8, 4, 6, 6, 1, 1).with_name("proj"))
+        .unwrap();
+    let j = g.add(main, proj, "add").unwrap();
+    g.conv(j, ConvLayer::new(2, 4, 8, 6, 6, 1, 1).with_name("head"))
+        .unwrap();
+
+    let cfg = FeatherConfig::new(4, 8);
+    let iacts = Tensor4::random([2, 4, 6, 6], 9);
+    let weights = g.random_weights(10);
+
+    let golden = GraphSession::auto(cfg, &g)
+        .unwrap()
+        .with_threads(1)
+        .run(&iacts, &weights)
+        .unwrap();
+    let run = GraphSession::auto(cfg, &g)
+        .unwrap()
+        .with_threads(4)
+        .run(&iacts, &weights)
+        .unwrap();
+    assert_eq!(run.oacts, golden.oacts);
+    assert_eq!(run.report, golden.report);
+}
+
+#[test]
+fn oversubscribed_workers_clamp_to_the_unit_count() {
+    // One weight tile, one batch sample: 64 requested workers must collapse
+    // to the serial path and still be exact.
+    let layer = ConvLayer::new(1, 4, 4, 5, 5, 3, 3).with_padding(1);
+    let cfg = FeatherConfig::new(4, 4);
+    let iacts = Tensor4::random([1, 4, 5, 5], 3);
+    let weights = vec![Tensor4::random([4, 4, 3, 3], 4)];
+    let golden = session_for(&layer, cfg)
+        .with_threads(1)
+        .run(&iacts, &weights)
+        .unwrap();
+    let run = session_for(&layer, cfg)
+        .with_threads(64)
+        .run(&iacts, &weights)
+        .unwrap();
+    assert_eq!(run.oacts, golden.oacts);
+    assert_eq!(run.report, golden.report);
+}
