@@ -11,18 +11,29 @@
 //! cargo run --release -p feather-bench --bin bench_snapshot [-- --pr N] [-- --out BENCH.json]
 //! ```
 //!
+//! On top of the wall-time scenarios, a closed-loop serving traffic
+//! generator (Poisson think times plus heavy-tail zero-think bursts from 16
+//! client threads) sweeps the `feather-serve` dynamic batcher across
+//! `max_batch ∈ {1, 2, 4, 8}` and records throughput plus p50/p99 latency
+//! per point — the throughput-vs-batch-size curve for the serving
+//! front-end.
+//!
 //! `--pr N` stamps the snapshot and derives the default output path
-//! `BENCH_N.json` (default: 5, the PR that introduced this bin — pass the
-//! current PR number when committing a new snapshot). Environment:
+//! `BENCH_N.json` (default: 6, the PR that introduced the serving sweep —
+//! pass the current PR number when committing a new snapshot). Environment:
 //! `FEATHER_BENCH_ITERS` overrides the measured iteration count (default 5;
-//! the median is reported).
+//! the median is reported) and scales the traffic generator's request count.
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use feather::{default_threads, FeatherConfig, GraphSession, LayerMapping, NetworkSession};
 use feather_arch::graph::resnet50_graph_scaled;
 use feather_arch::tensor::Tensor4;
 use feather_arch::workload::ConvLayer;
+use feather_serve::{ServeConfig, Server};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 /// One measured scenario: wall time plus the modeled counters that must stay
 /// comparable across PRs (the model, unlike the wall clock, is deterministic).
@@ -135,9 +146,14 @@ fn parallel_pair(iters: usize) -> (Snapshot, Snapshot) {
             .with_threads(threads)
     };
     let serial = build(1);
-    // At least two workers so the sharded path is always exercised and
-    // measured, even on a single-core host (where it is honestly ≈1×).
-    let parallel = build(default_threads().max(2));
+    // Worker count follows the host (FEATHER_THREADS / available
+    // parallelism). On a single-thread host this resolves to 1, so the
+    // "sharded" scenario honestly reports the serial path instead of paying
+    // fork-and-join overhead for workers the machine cannot run — the
+    // BENCH_5 regression where sharded lost to serial. The sharded code path
+    // itself stays covered by `tests/parallel_equivalence.rs`, which pins
+    // explicit worker counts.
+    let parallel = build(default_threads());
     let golden = serial.run(&iacts, &weights).expect("serial run");
     let check = parallel.run(&iacts, &weights).expect("parallel run");
     assert_eq!(golden.oacts, check.oacts, "parallel run diverged");
@@ -164,8 +180,123 @@ fn parallel_pair(iters: usize) -> (Snapshot, Snapshot) {
     )
 }
 
+/// One point of the throughput-vs-batch-size curve.
+struct ServingPoint {
+    max_batch: usize,
+    requests: u64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    executed_batches: u64,
+    mean_batch: f64,
+    rejected: u64,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+/// Closed-loop traffic generator against the serving front-end: 16 client
+/// threads, exponential (Poisson-process) think times with occasional
+/// zero-think bursts (a heavy-tail arrival pattern), swept across the
+/// dynamic batcher's `max_batch`. Clients block on their tickets, so the
+/// loop saturates the single scheduler and the curve isolates what batching
+/// buys: larger `max_batch` amortizes per-run staging and per-segment cache
+/// traffic across more requests.
+fn serving_sweep(iters: usize) -> Vec<ServingPoint> {
+    const CLIENTS: usize = 16;
+    const DISTINCT_IMAGES: usize = 8;
+    const THINK_MEAN_MS: f64 = 0.5;
+    // ITERS=1 (the CI smoke setting) keeps the sweep to 64 requests/point.
+    let requests_per_client = 4 * iters.min(8);
+
+    let graph = resnet50_graph_scaled(16, 16);
+    let config = FeatherConfig::new(8, 16);
+    let weights = graph.random_weights(8);
+    let [_, c, h, w] = graph.tensor_shape(graph.input());
+    let images: Vec<Tensor4<i8>> = (0..DISTINCT_IMAGES)
+        .map(|i| Tensor4::random([1, c, h, w], 90 + i as u64))
+        .collect();
+
+    [1usize, 2, 4, 8]
+        .iter()
+        .map(|&max_batch| {
+            let server = Arc::new(Server::new(ServeConfig {
+                max_batch,
+                queue_depth: 256,
+                batch_window: Duration::from_micros(800),
+                default_deadline: None,
+            }));
+            server
+                .register_model("resnet50", config, &graph, weights.clone())
+                .expect("serving model registers");
+
+            let start = Instant::now();
+            let mut latencies_ms: Vec<f64> = Vec::new();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..CLIENTS)
+                    .map(|client| {
+                        let server = server.clone();
+                        let images = &images;
+                        scope.spawn(move || {
+                            let mut rng =
+                                ChaCha8Rng::seed_from_u64((max_batch * 1000 + client) as u64);
+                            let mut lat = Vec::with_capacity(requests_per_client);
+                            for _ in 0..requests_per_client {
+                                // 1-in-8 requests arrive in a zero-think
+                                // burst; the rest follow exponential
+                                // (Poisson) think times.
+                                if rng.gen_range(0..8usize) != 0 {
+                                    let u: f64 = rng.gen_range(1e-12..1.0);
+                                    let think_ms = -THINK_MEAN_MS * u.ln();
+                                    std::thread::sleep(Duration::from_secs_f64(think_ms / 1e3));
+                                }
+                                let img = rng.gen_range(0..images.len());
+                                let response = server
+                                    .submit(
+                                        &format!("client-{client}"),
+                                        "resnet50",
+                                        images[img].clone(),
+                                    )
+                                    .expect("queue depth admits the closed loop")
+                                    .wait()
+                                    .expect("request completes");
+                                lat.push(response.latency_us as f64 / 1e3);
+                            }
+                            lat
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    latencies_ms.extend(handle.join().expect("client thread"));
+                }
+            });
+            let wall = start.elapsed().as_secs_f64();
+
+            let stats = server.stats();
+            latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+            let requests = latencies_ms.len() as u64;
+            assert_eq!(stats.completed, requests, "every request must complete");
+            ServingPoint {
+                max_batch,
+                requests,
+                throughput_rps: requests as f64 / wall,
+                p50_ms: percentile(&latencies_ms, 0.50),
+                p99_ms: percentile(&latencies_ms, 0.99),
+                executed_batches: stats.executed_batches(),
+                mean_batch: stats.mean_batch(),
+                rejected: stats.rejected,
+            }
+        })
+        .collect()
+}
+
 fn main() {
-    let mut pr: u32 = 5;
+    let mut pr: u32 = 6;
     let mut out_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -197,6 +328,7 @@ fn main() {
     let shard_speedup = serial.wall_ms / parallel.wall_ms.max(1e-9);
     snapshots.push(serial);
     snapshots.push(parallel);
+    let serving = serving_sweep(iters);
 
     // Hand-rolled JSON: the vendored serde shim's derives are no-ops (see
     // ROADMAP "Registry re-vendoring"), and the format is four flat fields.
@@ -215,6 +347,24 @@ fn main() {
             if i + 1 < snapshots.len() { "," } else { "" }
         ));
     }
+    json.push_str("  ],\n");
+    json.push_str("  \"serving\": [\n");
+    for (i, p) in serving.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"max_batch\": {}, \"requests\": {}, \"throughput_rps\": {:.1}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"executed_batches\": {}, \
+             \"mean_batch\": {:.2}, \"rejected\": {}}}{}\n",
+            p.max_batch,
+            p.requests,
+            p.throughput_rps,
+            p.p50_ms,
+            p.p99_ms,
+            p.executed_batches,
+            p.mean_batch,
+            p.rejected,
+            if i + 1 < serving.len() { "," } else { "" }
+        ));
+    }
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("snapshot file is writable");
 
@@ -226,8 +376,24 @@ fn main() {
     }
     println!(
         "serial → sharded speedup: {shard_speedup:.2}x ({} workers on {} host threads)",
-        default_threads().max(2),
+        default_threads(),
         default_threads()
     );
+    println!(
+        "\n{:<10} {:>9} {:>12} {:>10} {:>10} {:>9} {:>11}",
+        "max_batch", "requests", "rps", "p50 ms", "p99 ms", "batches", "mean batch"
+    );
+    for p in &serving {
+        println!(
+            "{:<10} {:>9} {:>12.1} {:>10.3} {:>10.3} {:>9} {:>11.2}",
+            p.max_batch,
+            p.requests,
+            p.throughput_rps,
+            p.p50_ms,
+            p.p99_ms,
+            p.executed_batches,
+            p.mean_batch,
+        );
+    }
     println!("wrote {out_path}");
 }

@@ -20,9 +20,10 @@
 //!   summed fire counts, so the parallel run is bit-identical to the serial
 //!   one — outputs, statistics and cycle counts alike.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::ops::Range;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use feather_arch::layout::{Location, LocationPlan4};
 use feather_arch::tensor::Tensor4;
@@ -48,6 +49,39 @@ pub(crate) struct CoreRun {
     pub macs: u64,
 }
 
+/// Hit/miss/eviction counters and the current size of a [`RouteCache`] —
+/// what a long-running serving process watches to size the cache.
+///
+/// The counters reflect *shared-map* traffic: steady-state lookups are
+/// absorbed by the lock-free worker-local L1 maps (which live for one layer
+/// span), so `hits + misses` counts L1 misses, and `misses` counts actual
+/// route-and-compile work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteCacheStats {
+    /// Lookups served by the shared compiled-route map.
+    pub hits: u64,
+    /// Lookups that had to route and compile a fresh program.
+    pub misses: u64,
+    /// Programs dropped to keep the shared map within its capacity.
+    pub evictions: u64,
+    /// Compiled programs currently resident in the shared map.
+    pub entries: usize,
+}
+
+/// Default capacity of a [`RouteCache`]'s shared map. A whole scaled
+/// ResNet-50 graph needs well under a hundred distinct reduce-reorder
+/// programs, so this comfortably holds many models' working sets while
+/// bounding a serving process that churns through arbitrary graphs.
+const ROUTE_CACHE_CAPACITY: usize = 1024;
+
+/// The bounded shared map behind a [`RouteCache`]: compiled programs keyed by
+/// request, plus the insertion order that drives FIFO eviction.
+#[derive(Debug, Default)]
+struct RouteMap {
+    routes: HashMap<ReductionRequest, Arc<CompiledRoute>>,
+    order: VecDeque<ReductionRequest>,
+}
+
 /// A shared, thread-safe memo of compiled BIRRD route programs.
 ///
 /// The controller replays the same handful of reduce-reorder patterns
@@ -57,9 +91,25 @@ pub(crate) struct CoreRun {
 /// every subsequent run of the same session (and every segment of a graph
 /// session) too. Workers keep a lock-free local map in front of this shared
 /// map, so steady-state lookups never touch the lock.
-#[derive(Debug, Default)]
+///
+/// The shared map is bounded: once `capacity` distinct programs are resident,
+/// inserting a new one evicts the oldest (FIFO). Eviction only drops the
+/// shared reference — workers holding the program in their L1 (or in-flight
+/// `Arc`s) keep using it; a later lookup simply recompiles. Hit/miss/eviction
+/// counters are exposed through [`RouteCache::stats`].
+#[derive(Debug)]
 pub(crate) struct RouteCache {
-    shared: RwLock<HashMap<ReductionRequest, Arc<CompiledRoute>>>,
+    shared: RwLock<RouteMap>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for RouteCache {
+    fn default() -> Self {
+        RouteCache::new()
+    }
 }
 
 /// The worker-local L1 in front of a [`RouteCache`].
@@ -67,8 +117,32 @@ type LocalRoutes = HashMap<ReductionRequest, Arc<CompiledRoute>>;
 
 impl RouteCache {
     pub(crate) fn new() -> Self {
+        RouteCache::with_capacity(ROUTE_CACHE_CAPACITY)
+    }
+
+    /// A cache bounded to `capacity` resident programs (at least one).
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
         RouteCache {
-            shared: RwLock::new(HashMap::new()),
+            shared: RwLock::new(RouteMap::default()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A snapshot of the shared-map counters and occupancy.
+    pub(crate) fn stats(&self) -> RouteCacheStats {
+        RouteCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self
+                .shared
+                .read()
+                .expect("route cache poisoned")
+                .routes
+                .len(),
         }
     }
 
@@ -89,11 +163,16 @@ impl RouteCache {
             .shared
             .read()
             .expect("route cache poisoned")
+            .routes
             .get(request)
             .cloned();
         let compiled = match shared_hit {
-            Some(hit) => hit,
+            Some(hit) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                hit
+            }
             None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 let config = birrd
                     .route(request)
                     .map_err(|e| ArchError::InvalidDataflow(e.to_string()))?;
@@ -101,19 +180,34 @@ impl RouteCache {
                     CompiledRoute::compile(birrd.topology(), &config)
                         .expect("routed configuration always matches the network shape"),
                 );
-                // Another worker may have routed the same request concurrently;
-                // keep whichever program landed first (they are identical —
-                // routing is deterministic).
-                self.shared
-                    .write()
-                    .expect("route cache poisoned")
-                    .entry(request.clone())
-                    .or_insert(compiled)
-                    .clone()
+                self.publish(request, compiled)
             }
         };
         local.insert(request.clone(), compiled.clone());
         Ok(compiled)
+    }
+
+    /// Installs a freshly-compiled program in the shared map, evicting the
+    /// oldest resident program if the map is full. Another worker may have
+    /// routed the same request concurrently; keep whichever program landed
+    /// first (they are identical — routing is deterministic).
+    fn publish(
+        &self,
+        request: &ReductionRequest,
+        compiled: Arc<CompiledRoute>,
+    ) -> Arc<CompiledRoute> {
+        let mut shared = self.shared.write().expect("route cache poisoned");
+        if let Some(existing) = shared.routes.get(request) {
+            return existing.clone();
+        }
+        while shared.routes.len() >= self.capacity {
+            let oldest = shared.order.pop_front().expect("map is non-empty");
+            shared.routes.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        shared.routes.insert(request.clone(), compiled.clone());
+        shared.order.push_back(request.clone());
+        compiled
     }
 }
 
@@ -121,15 +215,19 @@ impl RouteCache {
 /// explicitly: the `FEATHER_THREADS` environment variable if set to a
 /// positive integer, otherwise the machine's available parallelism
 /// (`FEATHER_THREADS=1` forces the serial path).
+///
+/// The variable is re-read on every call — a server that adjusts
+/// `FEATHER_THREADS` between sessions (or a test that sets it after some
+/// other test already ran a layer) sees the new value immediately instead of
+/// a process-lifetime latch.
 pub fn default_threads() -> usize {
-    static THREADS: OnceLock<usize> = OnceLock::new();
-    *THREADS.get_or_init(|| match std::env::var("FEATHER_THREADS") {
+    match std::env::var("FEATHER_THREADS") {
         Ok(v) => match v.trim().parse::<usize>() {
             Ok(n) if n > 0 => n,
             _ => available_threads(),
         },
         Err(_) => available_threads(),
-    })
+    }
 }
 
 fn available_threads() -> usize {
@@ -699,4 +797,109 @@ fn stage_weights(
         }
     }
     nest.swap_all_weights();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes the tests that mutate `FEATHER_THREADS` (process-global
+    /// environment).
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn default_threads_rereads_the_environment() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("FEATHER_THREADS", "3");
+        assert_eq!(default_threads(), 3);
+        // Not latched: a later change is visible immediately.
+        std::env::set_var("FEATHER_THREADS", "1");
+        assert_eq!(default_threads(), 1);
+        std::env::set_var("FEATHER_THREADS", "not a number");
+        assert_eq!(default_threads(), available_threads());
+        std::env::remove_var("FEATHER_THREADS");
+        assert_eq!(default_threads(), available_threads());
+    }
+
+    /// A one-group request reducing lanes `0..lanes` into `bank`.
+    fn request(cols: usize, lanes: usize, bank: usize) -> ReductionRequest {
+        let mut input_groups = vec![None; cols];
+        for slot in input_groups.iter_mut().take(lanes) {
+            *slot = Some(0);
+        }
+        let mut group_destinations = BTreeMap::new();
+        group_destinations.insert(0, bank);
+        ReductionRequest {
+            input_groups,
+            group_destinations,
+        }
+    }
+
+    #[test]
+    fn route_cache_counts_hits_and_misses() {
+        let cache = RouteCache::new();
+        let birrd = Birrd::new(4).unwrap();
+        let mut local = LocalRoutes::new();
+        let req = request(4, 2, 1);
+        cache.lookup(&birrd, &req, &mut local).unwrap();
+        // A fresh worker (empty L1) hits the shared map.
+        let mut other = LocalRoutes::new();
+        cache.lookup(&birrd, &req, &mut other).unwrap();
+        // The warm worker's L1 absorbs the lookup without touching counters.
+        cache.lookup(&birrd, &req, &mut local).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn route_cache_evicts_oldest_beyond_capacity() {
+        let cache = RouteCache::with_capacity(2);
+        let birrd = Birrd::new(4).unwrap();
+        // Distinct requests (different destination banks); a fresh L1 per
+        // lookup forces every resolution through the shared map.
+        for bank in 0..4 {
+            let mut local = LocalRoutes::new();
+            cache
+                .lookup(&birrd, &request(4, 2, bank), &mut local)
+                .unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.entries, 2);
+        // The oldest two were evicted; re-resolving one recompiles (a miss),
+        // while the newest two still hit.
+        let mut local = LocalRoutes::new();
+        cache.lookup(&birrd, &request(4, 2, 0), &mut local).unwrap();
+        let mut local = LocalRoutes::new();
+        cache.lookup(&birrd, &request(4, 2, 3), &mut local).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 5);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn evicted_routes_remain_usable_through_live_references() {
+        let cache = RouteCache::with_capacity(1);
+        let birrd = Birrd::new(4).unwrap();
+        let mut local = LocalRoutes::new();
+        let first = cache.lookup(&birrd, &request(4, 2, 0), &mut local).unwrap();
+        // Evict it from the shared map…
+        let mut other = LocalRoutes::new();
+        cache.lookup(&birrd, &request(4, 2, 1), &mut other).unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        // …the held Arc (and the warm L1 copy) still run fine.
+        let mut inputs = vec![None; 4];
+        inputs[0] = Some(5i64);
+        inputs[1] = Some(7);
+        let mut outputs = vec![None; 4];
+        first.run(&inputs, &mut outputs).unwrap();
+        assert_eq!(outputs[0], Some(12), "reduction of lanes 0..2 into bank 0");
+        let again = cache.lookup(&birrd, &request(4, 2, 0), &mut local).unwrap();
+        assert!(Arc::ptr_eq(&first, &again), "L1 copy survives eviction");
+    }
 }

@@ -100,6 +100,9 @@ pub struct GraphSession {
     graph: Graph,
     segments: Vec<SegmentExec>,
     plan: Vec<Step>,
+    /// Batch size every tensor's `N` extent is replaced with at run time
+    /// (the graph's authored batch until [`GraphSession::with_batch`]).
+    batch: usize,
     quant_shift: u32,
     quant_zero: i8,
     energy_model: EnergyModel,
@@ -223,6 +226,7 @@ impl GraphSession {
 
         Ok(GraphSession {
             config,
+            batch: graph.tensor_shape(graph.input())[0],
             graph: graph.clone(),
             segments: compiled,
             plan,
@@ -257,6 +261,51 @@ impl GraphSession {
         self
     }
 
+    /// Returns a copy of the session that executes `n` samples per run: every
+    /// segment layer's batch extent becomes `n`
+    /// ([`NetworkSession::with_batch`]), shortcut scratch parking and the
+    /// residual joins follow the batched shapes, and each tile's staged
+    /// weights serve all `n` samples. The copy shares this session's
+    /// compiled-route cache, and its output is bit-identical to `n` solo
+    /// runs of the per-sample session (sample `i` of the batch equals the
+    /// solo run of sample `i`).
+    ///
+    /// # Errors
+    /// Returns an error if `n` is zero; segment re-validation errors do not
+    /// occur in practice (batching preserves chainability).
+    pub fn with_batch(&self, n: usize) -> Result<Self, ArchError> {
+        if n == 0 {
+            return Err(ArchError::InvalidWorkload(
+                "batch size must be at least 1".to_string(),
+            ));
+        }
+        let mut session = self.clone();
+        session.batch = n;
+        for seg in &mut session.segments {
+            seg.session = seg.session.with_batch(n)?;
+        }
+        Ok(session)
+    }
+
+    /// Samples per [`GraphSession::run`] call.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Counters of the compiled-route cache shared by every segment of this
+    /// session (and by batched copies made with [`GraphSession::with_batch`]).
+    pub fn route_cache_stats(&self) -> crate::core::RouteCacheStats {
+        self.segments[0].session.route_cache_stats()
+    }
+
+    /// A tensor's shape at run time: the authored shape with the `N` extent
+    /// replaced by the session's batch size.
+    fn batched_shape(&self, t: TensorId) -> [usize; 4] {
+        let mut shape = self.graph.tensor_shape(t);
+        shape[0] = self.batch;
+        shape
+    }
+
     /// The hardware configuration.
     pub fn config(&self) -> FeatherConfig {
         self.config
@@ -286,7 +335,7 @@ impl GraphSession {
     ) -> Result<GraphRun, ArchError> {
         self.check_input(iacts)?;
         let graph = &self.graph;
-        let mut state = RunState::new(graph, iacts.clone(), self.config.cols);
+        let mut state = RunState::new(graph, iacts.clone(), self.config.cols, self.batch);
         let mut segments = Vec::with_capacity(self.segments.len());
         let mut joins = Vec::new();
         let mut final_acc: Option<Tensor4<i32>> = None;
@@ -398,7 +447,7 @@ impl GraphSession {
     }
 
     fn check_input(&self, iacts: &Tensor4<i8>) -> Result<(), ArchError> {
-        let expected = self.graph.tensor_shape(self.graph.input());
+        let expected = self.batched_shape(self.graph.input());
         if iacts.shape() != expected {
             return Err(ArchError::ShapeMismatch(format!(
                 "graph input shape {:?}, expected {:?}",
@@ -535,6 +584,9 @@ fn widen(t: &Tensor4<i8>) -> Tensor4<i32> {
 struct RunState<'g> {
     graph: &'g Graph,
     scratch: ScratchRegion<i8>,
+    /// The session's batch size — tensors reconstructed from the scratch
+    /// region get the authored shape with this `N` extent.
+    batch: usize,
     /// The tensor most recently produced, still in the StaB active half.
     fresh: Option<(TensorId, Tensor4<i8>)>,
     /// Consumers not yet served, per tensor.
@@ -542,7 +594,7 @@ struct RunState<'g> {
 }
 
 impl<'g> RunState<'g> {
-    fn new(graph: &'g Graph, input: Tensor4<i8>, line_size: usize) -> Self {
+    fn new(graph: &'g Graph, input: Tensor4<i8>, line_size: usize, batch: usize) -> Self {
         let mut remaining = BTreeMap::new();
         let mut count = |t: TensorId| {
             remaining.insert(t, graph.consumers(t).len());
@@ -554,6 +606,7 @@ impl<'g> RunState<'g> {
         RunState {
             graph,
             scratch: ScratchRegion::new(line_size.max(1)),
+            batch,
             fresh: Some((graph.input(), input)),
             remaining,
         }
@@ -592,7 +645,8 @@ impl<'g> RunState<'g> {
         } else {
             self.scratch.fetch(&key).ok_or_else(missing)?.to_vec()
         };
-        let shape = self.graph.tensor_shape(t);
+        let mut shape = self.graph.tensor_shape(t);
+        shape[0] = self.batch;
         Ok((Tensor4::from_vec(shape, data)?, true))
     }
 
@@ -796,6 +850,98 @@ mod tests {
             .as_slice()
             .iter()
             .all(|&v| v >= i8::MIN as i32 && v <= i8::MAX as i32));
+    }
+
+    /// Slices sample `i` out of a batched `[N, c, h, w]` INT8 tensor.
+    fn sample_of(t: &Tensor4<i8>, i: usize) -> Tensor4<i8> {
+        let [_, c, h, w] = t.shape();
+        Tensor4::from_fn([1, c, h, w], |_, cc, hh, ww| t.get(i, cc, hh, ww))
+    }
+
+    /// Asserts sample `i` of a batched INT32 output equals a solo output.
+    fn assert_sample_matches(batched: &Tensor4<i32>, i: usize, solo: &Tensor4<i32>, what: &str) {
+        let [_, m, p, q] = solo.shape();
+        for mm in 0..m {
+            for pp in 0..p {
+                for qq in 0..q {
+                    assert_eq!(
+                        batched.get(i, mm, pp, qq),
+                        solo.get(0, mm, pp, qq),
+                        "{what}: sample {i} diverged at ({mm},{pp},{qq})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_graph_run_matches_per_sample_solo_runs() {
+        let (session, _, _, weights) = session_and_operands();
+        let n = 3;
+        let batched = session.with_batch(n).unwrap();
+        assert_eq!(batched.batch(), n);
+        let iacts = Tensor4::random([n, 4, 6, 6], 77);
+        let run = batched.run(&iacts, &weights).unwrap();
+        // Residual joins stay exact: every sample matches its solo run.
+        for i in 0..n {
+            let solo = session.run(&sample_of(&iacts, i), &weights).unwrap();
+            assert_sample_matches(&run.oacts, i, &solo.oacts, "residual graph");
+        }
+        // The batched session is also self-consistent with its own baseline.
+        let sequential = batched.run_layer_at_a_time(&iacts, &weights).unwrap();
+        assert_eq!(run.oacts, sequential);
+        // Per-tile weight staging is shared across the batch.
+        let solo0 = session.run(&sample_of(&iacts, 0), &weights).unwrap();
+        assert!(
+            run.report.total_cycles() < n as u64 * solo0.report.total_cycles(),
+            "batching must amortize weight staging"
+        );
+    }
+
+    #[test]
+    fn batched_pool_gemm_tail_matches_solo() {
+        // The ResNet tail shape: conv → global avgpool → FC (gemm lowering).
+        let mut g = Graph::new("pooled_batched", [1, 4, 8, 8]);
+        let c = g
+            .conv(
+                g.input(),
+                ConvLayer::new(1, 8, 4, 8, 8, 3, 3)
+                    .with_padding(1)
+                    .with_name("conv"),
+            )
+            .unwrap();
+        let p = g.avgpool_as_conv(c, 8, 1, 0, "gap").unwrap();
+        g.gemm(
+            p,
+            feather_arch::workload::GemmLayer::new(1, 8, 6).with_name("fc"),
+        )
+        .unwrap();
+        let session = GraphSession::auto(FeatherConfig::new(4, 4), &g).unwrap();
+        let n = 2;
+        let batched = session.with_batch(n).unwrap();
+        let iacts = Tensor4::random([n, 4, 8, 8], 55);
+        let run = batched.run(&iacts, &weights_for(&g)).unwrap();
+        for i in 0..n {
+            let solo = session
+                .run(&sample_of(&iacts, i), &weights_for(&g))
+                .unwrap();
+            assert_sample_matches(&run.oacts, i, &solo.oacts, "pool+gemm tail");
+        }
+    }
+
+    fn weights_for(g: &Graph) -> BTreeMap<NodeId, Tensor4<i8>> {
+        g.random_weights(66)
+    }
+
+    #[test]
+    fn zero_batch_rejected_and_wrong_batch_shape_rejected() {
+        let (session, _, _, weights) = session_and_operands();
+        assert!(session.with_batch(0).is_err());
+        let batched = session.with_batch(2).unwrap();
+        // A solo-shaped input no longer fits the batched session.
+        assert!(batched
+            .run(&Tensor4::random([1, 4, 6, 6], 1), &weights)
+            .is_err());
     }
 
     #[test]

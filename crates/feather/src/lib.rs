@@ -57,7 +57,7 @@ pub mod mapping;
 pub mod report;
 pub mod session;
 
-pub use crate::core::default_threads;
+pub use crate::core::{default_threads, RouteCacheStats};
 pub use accelerator::Feather;
 pub use config::FeatherConfig;
 pub use graph_session::GraphSession;

@@ -57,7 +57,7 @@ use feather_memsim::{AccessStats, Banking, BufferSpec, LayoutView, PingPong};
 
 use crate::accelerator::{check_weight_shape, Feather};
 use crate::config::FeatherConfig;
-use crate::core::{run_conv_core, CoreRun, RouteCache};
+use crate::core::{run_conv_core, CoreRun, RouteCache, RouteCacheStats};
 use crate::mapping::LayerMapping;
 use crate::report::{LayerSummary, NetworkReport, NetworkRun, RunReport};
 
@@ -288,6 +288,14 @@ impl NetworkSession {
     /// session shares one compiled-route memo across all its segments.
     pub(crate) fn share_route_cache(&mut self, cache: Arc<RouteCache>) {
         self.route_cache = cache;
+    }
+
+    /// Counters of the session's shared compiled-route cache (hits, misses,
+    /// evictions, resident programs). Batched copies made with
+    /// [`NetworkSession::with_batch`] share the same cache, so their traffic
+    /// shows up here too.
+    pub fn route_cache_stats(&self) -> RouteCacheStats {
+        self.route_cache.stats()
     }
 
     /// The resolved `(layer, mapping)` chain, in execution order.

@@ -8,7 +8,7 @@
 //! the same architecture with the same mapper settings, seed and predecessor
 //! layout are the same search problem.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use feather_arch::layout::Layout;
 use feather_arch::workload::Workload;
@@ -59,6 +59,18 @@ pub(crate) fn table_key(
     cache_key(arch, workload, None, mapper, seed)
 }
 
+/// Default cap on memoized per-predecessor results. Shapes repeat heavily,
+/// so even a fleet of big models stays far below this; the cap exists so a
+/// long-lived process (or the `FEATHER_CACHE_DIR` file it persists) cannot
+/// grow without bound.
+pub const DEFAULT_MAX_ENTRIES: usize = 4096;
+
+/// Default cap on memoized whole co-search tables. Must stay comfortably
+/// above the distinct-shape count of any single network (ResNet-50 ≈ 20,
+/// BERT ≈ 4): the planners assume every table they ensured survives until the
+/// end of the planning call.
+pub const DEFAULT_MAX_TABLES: usize = 512;
+
 /// A memo table for co-search problems, keyed by
 /// (architecture, layer shape, mapper settings, seed):
 ///
@@ -68,18 +80,52 @@ pub(crate) fn table_key(
 ///   for *every* predecessor layout at once (the form the network/graph
 ///   planners use — repeated shapes hit regardless of how the chained
 ///   predecessor layouts differ).
-#[derive(Debug, Clone, Default)]
+///
+/// Both maps are bounded: inserting past the cap evicts the oldest-inserted
+/// problem (FIFO) and counts it in [`CoSearchCache::evictions`]. The caps
+/// also bound the file that [`CoSearchCache::save_persistent`] writes under
+/// `FEATHER_CACHE_DIR`.
+#[derive(Debug, Clone)]
 pub struct CoSearchCache {
     entries: BTreeMap<String, CoSearchResult>,
     tables: BTreeMap<String, CoSearchTable>,
+    /// Insertion order of `entries` keys — the FIFO eviction queue.
+    entry_order: VecDeque<String>,
+    /// Insertion order of `tables` keys — the FIFO eviction queue.
+    table_order: VecDeque<String>,
+    max_entries: usize,
+    max_tables: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+impl Default for CoSearchCache {
+    fn default() -> Self {
+        CoSearchCache::with_capacity(DEFAULT_MAX_ENTRIES, DEFAULT_MAX_TABLES)
+    }
 }
 
 impl CoSearchCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default capacity.
     pub fn new() -> Self {
         CoSearchCache::default()
+    }
+
+    /// Creates an empty cache bounded to `max_entries` per-predecessor
+    /// results and `max_tables` whole tables (each at least one).
+    pub fn with_capacity(max_entries: usize, max_tables: usize) -> Self {
+        CoSearchCache {
+            entries: BTreeMap::new(),
+            tables: BTreeMap::new(),
+            entry_order: VecDeque::new(),
+            table_order: VecDeque::new(),
+            max_entries: max_entries.max(1),
+            max_tables: max_tables.max(1),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
     }
 
     /// Number of lookups served from the cache so far.
@@ -90,6 +136,11 @@ impl CoSearchCache {
     /// Number of lookups that had to run a fresh co-search.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Number of results and tables dropped to stay within the caps.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Number of distinct (shape, arch, …) problems stored.
@@ -149,7 +200,7 @@ impl CoSearchCache {
         }
         self.misses += 1;
         let result = compute()?;
-        self.entries.insert(key, result.clone());
+        self.store_entry(key, result.clone());
         Ok(result)
     }
 
@@ -164,7 +215,21 @@ impl CoSearchCache {
         result: CoSearchResult,
     ) {
         let key = cache_key(arch, workload, prev_layout, mapper, seed);
-        self.entries.insert(key, result);
+        self.store_entry(key, result);
+    }
+
+    /// Inserts a result under its final key, evicting the oldest entries
+    /// beyond the cap. Re-inserting an existing key replaces the value
+    /// without disturbing its eviction position.
+    fn store_entry(&mut self, key: String, result: CoSearchResult) {
+        if self.entries.insert(key.clone(), result).is_none() {
+            self.entry_order.push_back(key);
+            while self.entries.len() > self.max_entries {
+                let oldest = self.entry_order.pop_front().expect("order tracks entries");
+                self.entries.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
     }
 
     /// Number of whole co-search tables stored.
@@ -179,9 +244,17 @@ impl CoSearchCache {
         self.tables.get(key)
     }
 
-    /// Stores a computed table under its [`table_key`].
+    /// Stores a computed table under its [`table_key`], evicting the oldest
+    /// tables beyond the cap.
     pub(crate) fn insert_table(&mut self, key: String, table: CoSearchTable) {
-        self.tables.insert(key, table);
+        if self.tables.insert(key.clone(), table).is_none() {
+            self.table_order.push_back(key);
+            while self.tables.len() > self.max_tables {
+                let oldest = self.table_order.pop_front().expect("order tracks tables");
+                self.tables.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
     }
 
     /// Records a lookup served from the cache (or from a table another layer
@@ -205,9 +278,11 @@ impl CoSearchCache {
         self.tables.iter()
     }
 
-    /// Inserts a raw entry by key (for persistence).
+    /// Inserts a raw entry by key (for persistence). Subject to the same cap
+    /// as [`CoSearchCache::insert`], so loading an oversized persisted file
+    /// re-bounds it.
     pub(crate) fn insert_raw(&mut self, key: String, result: CoSearchResult) {
-        self.entries.insert(key, result);
+        self.store_entry(key, result);
     }
 }
 
@@ -293,6 +368,51 @@ mod tests {
         tweaked.max_candidates += 1;
         assert!(cache.lookup(&arch, &w, None, &tweaked, 0).is_none());
         assert!(cache.lookup(&arch, &w, None, &mapper, 0).is_some());
+    }
+
+    #[test]
+    fn entry_cap_evicts_oldest_first() {
+        let arch = ArchSpec::feather_like(16, 16);
+        let mapper = MapperConfig::fast();
+        let mut cache = CoSearchCache::with_capacity(2, 1);
+        let w = layer("a");
+        let result = co_search_with(&arch, &w, None, &mapper, 0).unwrap();
+        // Three distinct problems (different seeds) through a 2-entry cache.
+        for seed in 0..3u64 {
+            cache.insert(&arch, &w, None, &mapper, seed, result.clone());
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // Seed 0 (oldest) was evicted; 1 and 2 survive.
+        assert!(cache.lookup(&arch, &w, None, &mapper, 0).is_none());
+        assert!(cache.lookup(&arch, &w, None, &mapper, 1).is_some());
+        assert!(cache.lookup(&arch, &w, None, &mapper, 2).is_some());
+        // Replacing a resident key is not an eviction and does not grow.
+        cache.insert(&arch, &w, None, &mapper, 2, result);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn table_cap_evicts_oldest_first() {
+        use crate::cosearch::co_search_table;
+        let arch = ArchSpec::feather_like(16, 16);
+        let mapper = MapperConfig::fast();
+        let mut cache = CoSearchCache::with_capacity(1, 2);
+        for seed in 0..3u64 {
+            let w = layer("t");
+            let table = co_search_table(&arch, &w, &mapper, seed).unwrap();
+            cache.insert_table(table_key(&arch, &w, &mapper, seed), table);
+        }
+        assert_eq!(cache.table_count(), 2);
+        assert_eq!(cache.evictions(), 1);
+        let w = layer("t");
+        assert!(cache
+            .peek_table(&table_key(&arch, &w, &mapper, 0))
+            .is_none());
+        assert!(cache
+            .peek_table(&table_key(&arch, &w, &mapper, 2))
+            .is_some());
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! The error surface of the serving front-end.
+
+use std::fmt;
+
+use feather_arch::ArchError;
+
+/// Why a request was rejected, dropped, or failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// Admission control refused the request: the queue already holds
+    /// `depth` requests.
+    QueueFull {
+        /// The configured queue depth the request bounced off.
+        depth: usize,
+    },
+    /// The request's deadline expired while it was still queued.
+    Timeout,
+    /// The server is shutting down (or has shut down) and no longer accepts
+    /// requests.
+    Shutdown,
+    /// No model is registered under the requested name.
+    UnknownModel(String),
+    /// The request tensor (or a registered graph) has the wrong shape.
+    BadInput(String),
+    /// The executor failed while running the batch this request was part of.
+    Exec(ArchError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { depth } => {
+                write!(f, "request rejected: queue is at capacity ({depth})")
+            }
+            ServeError::Timeout => write!(f, "request timed out before being scheduled"),
+            ServeError::Shutdown => write!(f, "server is shut down"),
+            ServeError::UnknownModel(name) => write!(f, "no model registered as `{name}`"),
+            ServeError::BadInput(msg) => write!(f, "bad input: {msg}"),
+            ServeError::Exec(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArchError> for ServeError {
+    fn from(e: ArchError) -> Self {
+        ServeError::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_specific() {
+        let errors = [
+            ServeError::QueueFull { depth: 4 },
+            ServeError::Timeout,
+            ServeError::Shutdown,
+            ServeError::UnknownModel("resnet".into()),
+            ServeError::BadInput("shape".into()),
+            ServeError::Exec(ArchError::InvalidWorkload("zero".into())),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(ServeError::QueueFull { depth: 4 }.to_string().contains('4'));
+        assert!(ServeError::UnknownModel("resnet".into())
+            .to_string()
+            .contains("resnet"));
+    }
+}

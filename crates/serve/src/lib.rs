@@ -1,0 +1,64 @@
+//! `feather-serve`: a batched inference serving front-end over the FEATHER
+//! functional simulator.
+//!
+//! The executor crates answer "how fast is one batch"; this crate answers
+//! "what happens when many tenants submit single-sample requests
+//! concurrently". It provides:
+//!
+//! - **Admission control** — a bounded request queue
+//!   ([`ServeConfig::queue_depth`]); submissions beyond it are rejected
+//!   immediately with [`ServeError::QueueFull`], and queued requests can
+//!   carry deadlines that expire into [`ServeError::Timeout`].
+//! - **Dynamic batching** — a scheduler thread coalesces concurrent
+//!   same-model requests (up to [`ServeConfig::max_batch`], waiting at most
+//!   [`ServeConfig::batch_window`]) into one multi-batch
+//!   [`feather::GraphSession`] run, then splits the outputs back per
+//!   request. Batch-`N` execution is bit-identical to `N` solo runs, so
+//!   coalescing is unobservable in the results.
+//! - **Per-tenant accounting** — [`ServerStats`]/[`TenantStats`] aggregate
+//!   latency plus the modeled cycle and DRAM-byte totals of each batch,
+//!   divided across its requests.
+//!
+//! There is no async runtime in this workspace (the vendored shims are
+//! trait-surface only), so the concurrency is hand-rolled std: a scheduler
+//! thread, condvar-backed [`Ticket`]s that both block ([`Ticket::wait`])
+//! and implement [`Future`](std::future::Future), and a park/unpark
+//! [`block_on`] executor.
+//!
+//! # Example
+//!
+//! ```
+//! use feather::FeatherConfig;
+//! use feather_arch::graph::Graph;
+//! use feather_arch::tensor::Tensor4;
+//! use feather_arch::workload::ConvLayer;
+//! use feather_serve::{ServeConfig, Server};
+//!
+//! let mut g = Graph::new("toy", [1, 2, 4, 4]);
+//! g.conv(
+//!     g.input(),
+//!     ConvLayer::new(1, 2, 2, 4, 4, 3, 3).with_padding(1).with_name("only"),
+//! )
+//! .unwrap();
+//! let weights = g.random_weights(1);
+//!
+//! let server = Server::new(ServeConfig::default());
+//! server.register_model("toy", FeatherConfig::new(4, 8), &g, weights).unwrap();
+//! let ticket = server
+//!     .submit("tenant-a", "toy", Tensor4::random([1, 2, 4, 4], 2))
+//!     .unwrap();
+//! let response = ticket.wait().unwrap();
+//! assert_eq!(response.oacts.shape(), [1, 2, 4, 4]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod server;
+pub mod stats;
+pub mod ticket;
+
+pub use error::ServeError;
+pub use server::{Response, ServeConfig, Server};
+pub use stats::{ServerStats, TenantStats};
+pub use ticket::{block_on, Ticket};

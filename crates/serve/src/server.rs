@@ -1,0 +1,686 @@
+//! The serving core: bounded admission queue, dynamic-batching scheduler,
+//! per-tenant accounting.
+//!
+//! One background scheduler thread owns execution. It pops the
+//! oldest queued request, waits up to [`ServeConfig::batch_window`] for more
+//! requests to the same model (up to [`ServeConfig::max_batch`]), coalesces
+//! them into one batched [`GraphSession`] run
+//! ([`GraphSession::with_batch`]), and splits the batch output back into
+//! per-request responses. Because batch-`N` execution is bit-identical to
+//! `N` solo runs (the `with_batch` equivalence contract), a tenant cannot
+//! observe whether its request was coalesced.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use feather::{FeatherConfig, GraphSession, RouteCacheStats};
+use feather_arch::graph::{Graph, NodeId};
+use feather_arch::tensor::Tensor4;
+
+use crate::error::ServeError;
+use crate::stats::ServerStats;
+use crate::ticket::{Promise, Ticket};
+
+/// Scheduling and admission knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Most requests coalesced into one executor run. `1` disables batching.
+    pub max_batch: usize,
+    /// Admission bound: submissions beyond this many queued requests are
+    /// rejected with [`ServeError::QueueFull`].
+    pub queue_depth: usize,
+    /// How long the scheduler holds a non-full batch open waiting for more
+    /// same-model requests. Zero launches whatever is queued immediately.
+    pub batch_window: Duration,
+    /// Deadline applied to every request without an explicit one: requests
+    /// still queued past it are dropped with [`ServeError::Timeout`].
+    /// `None` means requests wait indefinitely.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 8,
+            queue_depth: 64,
+            batch_window: Duration::from_micros(500),
+            default_deadline: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads the knobs from the environment on top of the defaults:
+    /// `FEATHER_SERVE_MAX_BATCH`, `FEATHER_SERVE_QUEUE_DEPTH` and
+    /// `FEATHER_SERVE_WINDOW_US` (batch window in microseconds). Unset or
+    /// unparsable variables keep their default.
+    pub fn from_env() -> Self {
+        fn read(name: &str) -> Option<usize> {
+            std::env::var(name).ok()?.trim().parse().ok()
+        }
+        let mut cfg = ServeConfig::default();
+        if let Some(n) = read("FEATHER_SERVE_MAX_BATCH") {
+            cfg.max_batch = n.max(1);
+        }
+        if let Some(n) = read("FEATHER_SERVE_QUEUE_DEPTH") {
+            cfg.queue_depth = n.max(1);
+        }
+        if let Some(us) = read("FEATHER_SERVE_WINDOW_US") {
+            cfg.batch_window = Duration::from_micros(us as u64);
+        }
+        cfg
+    }
+}
+
+/// One resolved inference response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The model's INT32 output accumulators for this request's sample —
+    /// bit-identical to a solo (batch-1) run of the same input.
+    pub oacts: Tensor4<i32>,
+    /// How many requests shared the executor run that produced this.
+    pub batch_size: usize,
+    /// Time spent queued before the batch launched, in microseconds.
+    pub queue_us: u64,
+    /// End-to-end latency (submit → response), in microseconds.
+    pub latency_us: u64,
+    /// Modeled accelerator cycles attributed to this request (the batch
+    /// total divided evenly).
+    pub cycles: u64,
+    /// Modeled DRAM bytes attributed to this request.
+    pub dram_bytes: u64,
+}
+
+/// A registered model: its weights plus compiled sessions per batch size.
+struct Model {
+    weights: BTreeMap<NodeId, Tensor4<i8>>,
+    input_shape: [usize; 4],
+    /// The batch-1 session compiled at registration.
+    base: Arc<GraphSession>,
+    /// Lazily-compiled batched variants; they all share the base session's
+    /// compiled-route cache.
+    batched: Mutex<BTreeMap<usize, Arc<GraphSession>>>,
+}
+
+impl Model {
+    fn session_for(&self, batch: usize) -> Result<Arc<GraphSession>, ServeError> {
+        if batch == self.base.batch() {
+            return Ok(self.base.clone());
+        }
+        let mut batched = self.batched.lock().expect("model lock poisoned");
+        if let Some(session) = batched.get(&batch) {
+            return Ok(session.clone());
+        }
+        let session = Arc::new(self.base.with_batch(batch)?);
+        batched.insert(batch, session.clone());
+        Ok(session)
+    }
+}
+
+/// One queued request.
+struct Request {
+    tenant: String,
+    model: String,
+    iacts: Tensor4<i8>,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    promise: Arc<Promise>,
+}
+
+/// The admission queue plus the open/closed flag, under one lock.
+struct QueueState {
+    requests: VecDeque<Request>,
+    open: bool,
+}
+
+/// State shared between the front-end handles and the scheduler thread.
+struct Inner {
+    cfg: ServeConfig,
+    models: RwLock<BTreeMap<String, Arc<Model>>>,
+    queue: Mutex<QueueState>,
+    /// Signaled on every admission and on shutdown.
+    arrived: Condvar,
+    stats: Mutex<ServerStats>,
+    next_id: AtomicU64,
+}
+
+/// The inference server. See the [module docs](self) for the scheduling
+/// model; see [`ServeConfig`] for the knobs.
+///
+/// Dropping the server shuts it down gracefully: admission closes, the
+/// scheduler drains every queued request, then the thread joins.
+pub struct Server {
+    inner: Arc<Inner>,
+    scheduler: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts a server and its scheduler thread. Models bring their own
+    /// accelerator configuration at [`Server::register_model`] time.
+    pub fn new(cfg: ServeConfig) -> Self {
+        let inner = Arc::new(Inner {
+            cfg: ServeConfig {
+                max_batch: cfg.max_batch.max(1),
+                queue_depth: cfg.queue_depth.max(1),
+                ..cfg
+            },
+            models: RwLock::new(BTreeMap::new()),
+            queue: Mutex::new(QueueState {
+                requests: VecDeque::new(),
+                open: true,
+            }),
+            arrived: Condvar::new(),
+            stats: Mutex::new(ServerStats::default()),
+            next_id: AtomicU64::new(0),
+        });
+        let scheduler = {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("feather-serve-scheduler".to_string())
+                .spawn(move || run_scheduler(&inner))
+                .expect("scheduler thread spawns")
+        };
+        Server {
+            inner,
+            scheduler: Some(scheduler),
+        }
+    }
+
+    /// Registers a model under `name`: compiles a batch-1 [`GraphSession`]
+    /// for `graph` on `accelerator` and keeps `weights` resident. The graph
+    /// must be authored at batch 1 (requests are single-sample; the
+    /// scheduler batches them).
+    ///
+    /// # Errors
+    /// [`ServeError::BadInput`] if the graph's batch extent is not 1, or a
+    /// wrapped [`ServeError::Exec`] if the graph does not compile.
+    pub fn register_model(
+        &self,
+        name: impl Into<String>,
+        accelerator: FeatherConfig,
+        graph: &Graph,
+        weights: BTreeMap<NodeId, Tensor4<i8>>,
+    ) -> Result<(), ServeError> {
+        let name = name.into();
+        let input_shape = graph.tensor_shape(graph.input());
+        if input_shape[0] != 1 {
+            return Err(ServeError::BadInput(format!(
+                "model `{name}` is authored at batch {} — register batch-1 graphs and let \
+                 the scheduler coalesce requests",
+                input_shape[0]
+            )));
+        }
+        let base = Arc::new(GraphSession::auto(accelerator, graph)?);
+        let model = Arc::new(Model {
+            weights,
+            input_shape,
+            base,
+            batched: Mutex::new(BTreeMap::new()),
+        });
+        self.inner
+            .models
+            .write()
+            .expect("model registry poisoned")
+            .insert(name, model);
+        Ok(())
+    }
+
+    /// Submits a single-sample request for `model` on behalf of `tenant`,
+    /// using the configured default deadline. Returns a [`Ticket`] to wait
+    /// on (or `await`).
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownModel`], [`ServeError::BadInput`] on a shape
+    /// mismatch, [`ServeError::QueueFull`] when admission control bounces
+    /// the request, or [`ServeError::Shutdown`].
+    pub fn submit(
+        &self,
+        tenant: &str,
+        model: &str,
+        iacts: Tensor4<i8>,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_with_deadline(tenant, model, iacts, self.inner.cfg.default_deadline)
+    }
+
+    /// [`Server::submit`] with an explicit per-request deadline (`None`
+    /// waits indefinitely).
+    ///
+    /// # Errors
+    /// Same as [`Server::submit`].
+    pub fn submit_with_deadline(
+        &self,
+        tenant: &str,
+        model: &str,
+        iacts: Tensor4<i8>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServeError> {
+        let registered = self
+            .inner
+            .models
+            .read()
+            .expect("model registry poisoned")
+            .get(model)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+        if iacts.shape() != registered.input_shape {
+            return Err(ServeError::BadInput(format!(
+                "model `{model}` expects input {:?}, got {:?}",
+                registered.input_shape,
+                iacts.shape()
+            )));
+        }
+
+        let enqueued = Instant::now();
+        let promise = Promise::new();
+        let ticket = Ticket::new(
+            promise.clone(),
+            self.inner.next_id.fetch_add(1, Ordering::Relaxed),
+        );
+        {
+            let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
+            if !queue.open {
+                return Err(ServeError::Shutdown);
+            }
+            if queue.requests.len() >= self.inner.cfg.queue_depth {
+                let mut stats = self.inner.stats.lock().expect("stats lock poisoned");
+                stats.rejected += 1;
+                stats
+                    .tenants
+                    .entry(tenant.to_string())
+                    .or_default()
+                    .rejected += 1;
+                return Err(ServeError::QueueFull {
+                    depth: self.inner.cfg.queue_depth,
+                });
+            }
+            queue.requests.push_back(Request {
+                tenant: tenant.to_string(),
+                model: model.to_string(),
+                iacts,
+                enqueued,
+                deadline: deadline.map(|d| enqueued + d),
+                promise,
+            });
+        }
+        self.inner.arrived.notify_all();
+        Ok(ticket)
+    }
+
+    /// A snapshot of the per-tenant aggregates and the batch histogram.
+    pub fn stats(&self) -> ServerStats {
+        self.inner
+            .stats
+            .lock()
+            .expect("stats lock poisoned")
+            .clone()
+    }
+
+    /// Counters of a registered model's shared compiled-route cache (all
+    /// batch variants of the model share one cache).
+    pub fn route_cache_stats(&self, model: &str) -> Option<RouteCacheStats> {
+        self.inner
+            .models
+            .read()
+            .expect("model registry poisoned")
+            .get(model)
+            .map(|m| m.base.route_cache_stats())
+    }
+
+    /// The scheduling configuration the server runs with.
+    pub fn config(&self) -> ServeConfig {
+        self.inner.cfg
+    }
+
+    /// Closes admission, drains every queued request, and joins the
+    /// scheduler thread. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if let Some(handle) = self.scheduler.take() {
+            {
+                let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
+                queue.open = false;
+            }
+            self.inner.arrived.notify_all();
+            handle.join().expect("scheduler thread panicked");
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// How long an idle scheduler sleeps between queue checks — a backstop for
+/// missed wakeups, not the signaling path.
+const IDLE_POLL: Duration = Duration::from_millis(5);
+
+/// The scheduler loop: drain batches until admission is closed *and* the
+/// queue is empty (shutdown still serves everything already admitted).
+fn run_scheduler(inner: &Inner) {
+    loop {
+        let Some(batch) = next_batch(inner) else {
+            return;
+        };
+        if !batch.is_empty() {
+            execute_batch(inner, batch);
+        }
+    }
+}
+
+/// Blocks until a batch is ready (or returns `None` at shutdown-and-drained).
+/// The returned batch holds 1..=max_batch same-model requests in admission
+/// order; expired requests are dropped (and resolved) along the way, so an
+/// empty vec is possible when every candidate timed out.
+fn next_batch(inner: &Inner) -> Option<Vec<Request>> {
+    let mut queue = inner.queue.lock().expect("queue lock poisoned");
+    // Wait for work.
+    loop {
+        if !queue.requests.is_empty() {
+            break;
+        }
+        if !queue.open {
+            return None;
+        }
+        let (guard, _) = inner
+            .arrived
+            .wait_timeout(queue, IDLE_POLL)
+            .expect("queue lock poisoned");
+        queue = guard;
+    }
+
+    // Hold the head model's batch open up to the window (shutdown launches
+    // immediately — latency no longer matters, drain fast).
+    let model = queue
+        .requests
+        .front()
+        .expect("queue non-empty")
+        .model
+        .clone();
+    let window_end = Instant::now() + inner.cfg.batch_window;
+    while queue.open {
+        let waiting = queue.requests.iter().filter(|r| r.model == model).count();
+        if waiting >= inner.cfg.max_batch {
+            break;
+        }
+        let now = Instant::now();
+        if now >= window_end {
+            break;
+        }
+        let (guard, _) = inner
+            .arrived
+            .wait_timeout(queue, window_end - now)
+            .expect("queue lock poisoned");
+        queue = guard;
+    }
+
+    // Extract up to max_batch live same-model requests, resolving expired
+    // ones as timed out. Other models' requests keep their positions.
+    let now = Instant::now();
+    let mut batch = Vec::new();
+    let mut kept = VecDeque::with_capacity(queue.requests.len());
+    while let Some(request) = queue.requests.pop_front() {
+        if request.model != model || batch.len() == inner.cfg.max_batch {
+            kept.push_back(request);
+            continue;
+        }
+        if request.deadline.is_some_and(|d| d <= now) {
+            let mut stats = inner.stats.lock().expect("stats lock poisoned");
+            stats.timed_out += 1;
+            stats
+                .tenants
+                .entry(request.tenant.clone())
+                .or_default()
+                .timed_out += 1;
+            drop(stats);
+            request.promise.fulfill(Err(ServeError::Timeout));
+            continue;
+        }
+        batch.push(request);
+    }
+    queue.requests = kept;
+    Some(batch)
+}
+
+/// Runs one coalesced batch and resolves every member's promise.
+fn execute_batch(inner: &Inner, batch: Vec<Request>) {
+    let launched = Instant::now();
+    let size = batch.len();
+    let model = inner
+        .models
+        .read()
+        .expect("model registry poisoned")
+        .get(&batch[0].model)
+        .cloned()
+        .expect("submit validated the model; models are never unregistered");
+
+    let failure = |batch: Vec<Request>, err: ServeError| {
+        let mut stats = inner.stats.lock().expect("stats lock poisoned");
+        for request in batch {
+            stats
+                .tenants
+                .entry(request.tenant.clone())
+                .or_default()
+                .failed += 1;
+            request.promise.fulfill(Err(err.clone()));
+        }
+    };
+
+    let session = match model.session_for(size) {
+        Ok(session) => session,
+        Err(err) => return failure(batch, err),
+    };
+
+    // Coalesce: sample `i` of the batched input is request `i`'s sample 0.
+    let [_, c, h, w] = model.input_shape;
+    let iacts = Tensor4::from_fn([size, c, h, w], |n, cc, hh, ww| {
+        batch[n].iacts.get(0, cc, hh, ww)
+    });
+
+    let run = match session.run(&iacts, &model.weights) {
+        Ok(run) => run,
+        Err(err) => return failure(batch, ServeError::Exec(err)),
+    };
+
+    // Split: each request gets its own sample, bit-identical to a solo run.
+    let cycles = run.report.total_cycles();
+    let dram_bytes = run.report.dram_bytes();
+    let [_, m, p, q] = run.oacts.shape();
+    let mut stats = inner.stats.lock().expect("stats lock poisoned");
+    *stats.batches.entry(size).or_insert(0) += 1;
+    for (i, request) in batch.into_iter().enumerate() {
+        let oacts = Tensor4::from_fn([1, m, p, q], |_, mm, pp, qq| run.oacts.get(i, mm, pp, qq));
+        let latency_us = request.enqueued.elapsed().as_micros() as u64;
+        let response = Response {
+            oacts,
+            batch_size: size,
+            queue_us: launched.duration_since(request.enqueued).as_micros() as u64,
+            latency_us,
+            cycles: cycles / size as u64,
+            dram_bytes: dram_bytes / size as u64,
+        };
+        let tenant = stats.tenants.entry(request.tenant.clone()).or_default();
+        tenant.completed += 1;
+        tenant.latency_us += latency_us;
+        tenant.max_latency_us = tenant.max_latency_us.max(latency_us);
+        tenant.cycles += response.cycles;
+        tenant.dram_bytes += response.dram_bytes;
+        stats.completed += 1;
+        request.promise.fulfill(Ok(response));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feather_arch::workload::ConvLayer;
+
+    /// conv → conv, authored at batch 1 on a 4×8 fabric.
+    fn tiny_graph(name: &str) -> Graph {
+        let mut g = Graph::new(name, [1, 2, 4, 4]);
+        let stem = g
+            .conv(
+                g.input(),
+                ConvLayer::new(1, 4, 2, 4, 4, 3, 3)
+                    .with_padding(1)
+                    .with_name("stem"),
+            )
+            .unwrap();
+        g.conv(stem, ConvLayer::new(1, 2, 4, 4, 4, 1, 1).with_name("head"))
+            .unwrap();
+        g
+    }
+
+    fn config() -> FeatherConfig {
+        FeatherConfig::new(4, 8)
+    }
+
+    #[test]
+    fn batched_responses_are_bit_identical_to_solo_runs() {
+        let g = tiny_graph("m");
+        let weights = g.random_weights(3);
+        let solo = GraphSession::auto(config(), &g).unwrap();
+        let inputs: Vec<Tensor4<i8>> = (0..4)
+            .map(|i| Tensor4::random([1, 2, 4, 4], 40 + i))
+            .collect();
+        let goldens: Vec<Tensor4<i32>> = inputs
+            .iter()
+            .map(|iacts| solo.run(iacts, &weights).unwrap().oacts)
+            .collect();
+
+        let server = Server::new(ServeConfig {
+            max_batch: 4,
+            batch_window: Duration::from_secs(2),
+            ..ServeConfig::default()
+        });
+        server.register_model("m", config(), &g, weights).unwrap();
+        // All four land inside the window, so the scheduler coalesces them
+        // into one batch-4 run the moment the fourth arrives.
+        let tickets: Vec<Ticket> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, iacts)| {
+                server
+                    .submit(if i % 2 == 0 { "alice" } else { "bob" }, "m", iacts.clone())
+                    .unwrap()
+            })
+            .collect();
+        for (ticket, golden) in tickets.into_iter().zip(&goldens) {
+            let response = ticket.wait().unwrap();
+            assert_eq!(&response.oacts, golden);
+            assert_eq!(response.batch_size, 4);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.batches.get(&4), Some(&1));
+        assert_eq!(stats.tenants["alice"].completed, 2);
+        assert_eq!(stats.tenants["bob"].completed, 2);
+        assert!(stats.tenants["alice"].cycles > 0);
+        assert!(stats.tenants["alice"].dram_bytes > 0);
+    }
+
+    #[test]
+    fn submit_validates_model_and_shape() {
+        let g = tiny_graph("m");
+        let server = Server::new(ServeConfig::default());
+        server
+            .register_model("m", config(), &g, g.random_weights(1))
+            .unwrap();
+        let wrong = Tensor4::random([1, 3, 4, 4], 1);
+        assert!(matches!(
+            server.submit("t", "nope", Tensor4::random([1, 2, 4, 4], 1)),
+            Err(ServeError::UnknownModel(_))
+        ));
+        assert!(matches!(
+            server.submit("t", "m", wrong),
+            Err(ServeError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn batched_graphs_are_rejected_at_registration() {
+        let mut g = Graph::new("b2", [2, 2, 4, 4]);
+        g.conv(
+            g.input(),
+            ConvLayer::new(2, 2, 2, 4, 4, 1, 1).with_name("only"),
+        )
+        .unwrap();
+        let server = Server::new(ServeConfig::default());
+        assert!(matches!(
+            server.register_model("b2", config(), &g, g.random_weights(1)),
+            Err(ServeError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn admission_control_bounces_past_queue_depth_and_shutdown_drains() {
+        let g = tiny_graph("m");
+        let weights = g.random_weights(5);
+        let solo = GraphSession::auto(config(), &g).unwrap();
+        let iacts = Tensor4::random([1, 2, 4, 4], 9);
+        let golden = solo.run(&iacts, &weights).unwrap().oacts;
+
+        // A wide window plus a large max_batch keeps requests parked in the
+        // queue, so the depth bound is observable deterministically.
+        let mut server = Server::new(ServeConfig {
+            max_batch: 8,
+            queue_depth: 2,
+            batch_window: Duration::from_secs(5),
+            ..ServeConfig::default()
+        });
+        server.register_model("m", config(), &g, weights).unwrap();
+        let t1 = server.submit("t", "m", iacts.clone()).unwrap();
+        let t2 = server.submit("t", "m", iacts.clone()).unwrap();
+        assert!(matches!(
+            server.submit("t", "m", iacts.clone()),
+            Err(ServeError::QueueFull { depth: 2 })
+        ));
+        assert_eq!(server.stats().rejected, 1);
+
+        // Shutdown closes admission but still serves what was admitted.
+        server.shutdown();
+        assert_eq!(t1.wait().unwrap().oacts, golden);
+        assert_eq!(t2.wait().unwrap().oacts, golden);
+        assert!(matches!(
+            server.submit("t", "m", iacts),
+            Err(ServeError::Shutdown)
+        ));
+    }
+
+    #[test]
+    fn expired_requests_resolve_as_timeouts() {
+        let g = tiny_graph("m");
+        let server = Server::new(ServeConfig {
+            batch_window: Duration::ZERO,
+            ..ServeConfig::default()
+        });
+        server
+            .register_model("m", config(), &g, g.random_weights(1))
+            .unwrap();
+        let ticket = server
+            .submit_with_deadline(
+                "t",
+                "m",
+                Tensor4::random([1, 2, 4, 4], 2),
+                Some(Duration::ZERO),
+            )
+            .unwrap();
+        assert_eq!(ticket.wait(), Err(ServeError::Timeout));
+        let stats = server.stats();
+        assert_eq!(stats.timed_out, 1);
+        assert_eq!(stats.tenants["t"].timed_out, 1);
+    }
+
+    #[test]
+    fn from_env_clamps_and_defaults() {
+        // Field-level sanity on the defaults the env overlay starts from.
+        let cfg = ServeConfig::default();
+        assert_eq!(cfg.max_batch, 8);
+        assert_eq!(cfg.queue_depth, 64);
+        assert!(cfg.batch_window > Duration::ZERO);
+        assert_eq!(cfg.default_deadline, None);
+    }
+}

@@ -1,0 +1,110 @@
+//! Serving-side accounting: per-tenant aggregates in the style of the
+//! executor's `NetworkReport` totals (latency, modeled cycles, DRAM bytes)
+//! plus the server-wide batch-size histogram the batching knobs are tuned
+//! against.
+
+use std::collections::BTreeMap;
+
+/// Aggregates for one tenant (the `tenant` string passed to `submit`).
+///
+/// `cycles` and `dram_bytes` are the modeled executor totals of each batch
+/// divided evenly across the batch's requests — the serving analogue of a
+/// `NetworkReport`'s `total_cycles()`/`dram_bytes()` rollup, attributable
+/// per tenant for chargeback.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests bounced by admission control (queue full).
+    pub rejected: u64,
+    /// Requests dropped because their deadline expired in the queue.
+    pub timed_out: u64,
+    /// Requests that reached the executor but failed.
+    pub failed: u64,
+    /// Total end-to-end latency (submit → response) across completed
+    /// requests, in microseconds.
+    pub latency_us: u64,
+    /// Worst completed-request latency, in microseconds.
+    pub max_latency_us: u64,
+    /// Modeled accelerator cycles attributed to this tenant.
+    pub cycles: u64,
+    /// Modeled DRAM traffic attributed to this tenant, in bytes.
+    pub dram_bytes: u64,
+}
+
+impl TenantStats {
+    /// Mean end-to-end latency over completed requests, in microseconds.
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.latency_us as f64 / self.completed as f64
+        }
+    }
+}
+
+/// A snapshot of the whole server's counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Per-tenant aggregates, keyed by tenant name.
+    pub tenants: BTreeMap<String, TenantStats>,
+    /// Histogram of executed batch sizes: `batches[k]` batches ran with
+    /// exactly `k` coalesced requests.
+    pub batches: BTreeMap<usize, u64>,
+    /// Requests completed successfully, across all tenants.
+    pub completed: u64,
+    /// Requests bounced by admission control, across all tenants.
+    pub rejected: u64,
+    /// Requests dropped on deadline expiry, across all tenants.
+    pub timed_out: u64,
+}
+
+impl ServerStats {
+    /// Number of `GraphSession` runs the scheduler launched.
+    pub fn executed_batches(&self) -> u64 {
+        self.batches.values().sum()
+    }
+
+    /// Mean coalesced batch size over all executed batches.
+    pub fn mean_batch(&self) -> f64 {
+        let batches = self.executed_batches();
+        if batches == 0 {
+            0.0
+        } else {
+            let requests: u64 = self.batches.iter().map(|(k, n)| *k as u64 * n).sum();
+            requests as f64 / batches as f64
+        }
+    }
+
+    /// The largest batch the scheduler actually coalesced.
+    pub fn max_batch_executed(&self) -> usize {
+        self.batches.keys().max().copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_rollups() {
+        let mut stats = ServerStats::default();
+        assert_eq!(stats.executed_batches(), 0);
+        assert_eq!(stats.mean_batch(), 0.0);
+        assert_eq!(stats.max_batch_executed(), 0);
+        stats.batches.insert(1, 2);
+        stats.batches.insert(4, 3);
+        assert_eq!(stats.executed_batches(), 5);
+        assert_eq!(stats.mean_batch(), 14.0 / 5.0);
+        assert_eq!(stats.max_batch_executed(), 4);
+    }
+
+    #[test]
+    fn tenant_mean_latency() {
+        let mut t = TenantStats::default();
+        assert_eq!(t.mean_latency_us(), 0.0);
+        t.completed = 4;
+        t.latency_us = 1000;
+        assert_eq!(t.mean_latency_us(), 250.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Request completion handles: a [`Ticket`] is both a blocking handle
+//! ([`Ticket::wait`]) and a [`Future`], resolved by the scheduler thread
+//! through the shared promise cell. [`block_on`] is the minimal executor
+//! that drives any future to completion on the current thread — the
+//! workspace has no async runtime (the vendored shims are trait-surface
+//! only), so the waker is a plain `thread::park`/`unpark` pair.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::Thread;
+
+use crate::error::ServeError;
+use crate::server::Response;
+
+/// The write-once cell a request's outcome lands in, shared between the
+/// scheduler (producer) and the ticket holder (consumer).
+pub(crate) struct Promise {
+    slot: Mutex<Slot>,
+    ready: Condvar,
+}
+
+struct Slot {
+    result: Option<Result<Response, ServeError>>,
+    waker: Option<Waker>,
+}
+
+impl Promise {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Promise {
+            slot: Mutex::new(Slot {
+                result: None,
+                waker: None,
+            }),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Writes the outcome (first write wins) and wakes both kinds of waiter.
+    pub(crate) fn fulfill(&self, result: Result<Response, ServeError>) {
+        let waker = {
+            let mut slot = self.slot.lock().expect("promise lock poisoned");
+            if slot.result.is_none() {
+                slot.result = Some(result);
+            }
+            slot.waker.take()
+        };
+        self.ready.notify_all();
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+/// A handle to one in-flight inference request.
+///
+/// Resolve it either synchronously with [`Ticket::wait`] or asynchronously
+/// by `await`ing it (it implements [`Future`]); [`block_on`] drives the
+/// latter without an async runtime.
+pub struct Ticket {
+    promise: Arc<Promise>,
+    id: u64,
+}
+
+impl Ticket {
+    pub(crate) fn new(promise: Arc<Promise>, id: u64) -> Self {
+        Ticket { promise, id }
+    }
+
+    /// The server-assigned request id (unique per server, admission order).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks the calling thread until the scheduler resolves the request.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        let mut slot = self.promise.slot.lock().expect("promise lock poisoned");
+        loop {
+            if let Some(result) = slot.result.take() {
+                return result;
+            }
+            slot = self
+                .promise
+                .ready
+                .wait(slot)
+                .expect("promise lock poisoned");
+        }
+    }
+}
+
+impl Future for Ticket {
+    type Output = Result<Response, ServeError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut slot = self.promise.slot.lock().expect("promise lock poisoned");
+        match slot.result.take() {
+            Some(result) => Poll::Ready(result),
+            None => {
+                slot.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Wakes the blocked [`block_on`] thread.
+struct ThreadWaker(Thread);
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// Drives a future to completion on the current thread: polls, parks until
+/// woken, polls again. Spurious unparks only cost an extra poll.
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = std::pin::pin!(fut);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(value) => return value,
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn block_on_runs_plain_futures() {
+        assert_eq!(block_on(async { 7 + 35 }), 42);
+    }
+
+    #[test]
+    fn wait_blocks_until_fulfilled() {
+        let promise = Promise::new();
+        let ticket = Ticket::new(promise.clone(), 1);
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            promise.fulfill(Err(ServeError::Timeout));
+        });
+        assert_eq!(ticket.wait(), Err(ServeError::Timeout));
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn ticket_resolves_as_a_future() {
+        let promise = Promise::new();
+        let ticket = Ticket::new(promise.clone(), 2);
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            promise.fulfill(Err(ServeError::Shutdown));
+        });
+        // The first poll parks; the fulfill unparks through the waker.
+        assert_eq!(block_on(ticket), Err(ServeError::Shutdown));
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn first_fulfill_wins() {
+        let promise = Promise::new();
+        let ticket = Ticket::new(promise.clone(), 3);
+        promise.fulfill(Err(ServeError::Timeout));
+        promise.fulfill(Err(ServeError::Shutdown));
+        assert_eq!(ticket.wait(), Err(ServeError::Timeout));
+    }
+}

@@ -1,0 +1,151 @@
+//! ResNet-50 behind the serving front-end: 64 concurrent single-image
+//! clients against one `feather_serve::Server`.
+//!
+//! 1. **Register** — the scaled-down ResNet-50 DAG (`÷16` channels and
+//!    spatial, full 72-node topology) is compiled once into a batch-1
+//!    `GraphSession`; batched variants are derived on demand and share its
+//!    compiled-route cache.
+//! 2. **Load** — 64 client threads release from a barrier simultaneously and
+//!    each submit single-sample requests drawn from a pool of 8 distinct
+//!    images, then block on their tickets.
+//! 3. **Coalesce** — the scheduler folds concurrent requests into
+//!    multi-batch runs (up to `max_batch = 8`), so the batch-size histogram
+//!    shows real dynamic batching, not 128 solo runs.
+//! 4. **Verify** — every response is compared bit-for-bit against a solo
+//!    batch-1 run of the same image: batching must be unobservable in the
+//!    numbers.
+//!
+//! ```text
+//! cargo run --release -p feather-suite --example serve_resnet50
+//! ```
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use feather::{FeatherConfig, GraphSession};
+use feather_arch::graph::resnet50_graph_scaled;
+use feather_arch::tensor::Tensor4;
+use feather_serve::{ServeConfig, Server};
+
+const CLIENTS: usize = 64;
+const REQUESTS_PER_CLIENT: usize = 2;
+const DISTINCT_IMAGES: usize = 8;
+
+fn main() {
+    let graph = resnet50_graph_scaled(16, 16);
+    let config = FeatherConfig::new(16, 16);
+    let weights = graph.random_weights(43);
+    println!(
+        "model `{}`: {} nodes ({} convs, {} residual adds), input {:?}",
+        graph.name,
+        graph.len(),
+        graph.conv_node_count(),
+        graph.add_node_count(),
+        graph.tensor_shape(graph.input()),
+    );
+
+    // Solo goldens: one batch-1 run per distinct image, outside the server.
+    let [_, c, h, w] = graph.tensor_shape(graph.input());
+    let images: Vec<Tensor4<i8>> = (0..DISTINCT_IMAGES)
+        .map(|i| Tensor4::random([1, c, h, w], 1000 + i as u64))
+        .collect();
+    let solo = GraphSession::auto(config, &graph).expect("solo session compiles");
+    let t0 = Instant::now();
+    let goldens: Vec<Tensor4<i32>> = images
+        .iter()
+        .map(|img| solo.run(img, &weights).expect("solo run").oacts)
+        .collect();
+    println!(
+        "goldens: {DISTINCT_IMAGES} solo batch-1 runs in {:.2?}",
+        t0.elapsed()
+    );
+
+    // The server: batch up to 8, hold a non-full batch open 2 ms, admit up
+    // to 128 queued requests (all 64 clients can be in flight at once).
+    let server = Arc::new(Server::new(ServeConfig {
+        max_batch: 8,
+        queue_depth: 128,
+        batch_window: Duration::from_millis(2),
+        default_deadline: None,
+    }));
+    server
+        .register_model("resnet50", config, &graph, weights)
+        .expect("model registers");
+
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let t1 = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let server = server.clone();
+            let barrier = barrier.clone();
+            let images = &images;
+            let goldens = &goldens;
+            scope.spawn(move || {
+                barrier.wait();
+                for i in 0..REQUESTS_PER_CLIENT {
+                    let img = (client + i * 3) % DISTINCT_IMAGES;
+                    let tenant = format!("tenant-{}", client % 4);
+                    let ticket = server
+                        .submit(&tenant, "resnet50", images[img].clone())
+                        .expect("queue_depth admits all concurrent clients");
+                    let response = ticket.wait().expect("request completes");
+                    assert_eq!(
+                        response.oacts, goldens[img],
+                        "client {client} image {img} diverged from its solo run"
+                    );
+                }
+            });
+        }
+    });
+    let wall = t1.elapsed();
+
+    let stats = server.stats();
+    let total = (CLIENTS * REQUESTS_PER_CLIENT) as u64;
+    assert_eq!(stats.completed, total);
+    assert_eq!(stats.rejected + stats.timed_out, 0);
+    println!(
+        "\nserved {total} requests from {CLIENTS} concurrent clients in {:.2?} \
+         ({:.1} req/s)",
+        wall,
+        total as f64 / wall.as_secs_f64(),
+    );
+    println!(
+        "batch histogram: {:?} — {} executor runs, mean batch {:.2}, largest {}",
+        stats.batches,
+        stats.executed_batches(),
+        stats.mean_batch(),
+        stats.max_batch_executed(),
+    );
+    assert!(
+        stats.max_batch_executed() > 1,
+        "64 simultaneous clients must coalesce into multi-batch runs"
+    );
+    assert!((stats.executed_batches() as usize) < CLIENTS * REQUESTS_PER_CLIENT);
+    println!("dynamic batching coalesced concurrent requests into multi-batch runs");
+
+    println!(
+        "\n{:<12} {:>9} {:>14} {:>14} {:>14}",
+        "tenant", "requests", "mean lat (us)", "cycles", "DRAM bytes"
+    );
+    for (tenant, t) in &stats.tenants {
+        println!(
+            "{:<12} {:>9} {:>14.0} {:>14} {:>14}",
+            tenant,
+            t.completed,
+            t.mean_latency_us(),
+            t.cycles,
+            t.dram_bytes,
+        );
+    }
+
+    let cache = server
+        .route_cache_stats("resnet50")
+        .expect("model is registered");
+    println!(
+        "\nshared route cache: {} entries, {} hits / {} misses / {} evictions",
+        cache.entries, cache.hits, cache.misses, cache.evictions,
+    );
+
+    println!("\nall {total} responses verified bit-identical to solo batch-1 runs");
+    println!("serving OK");
+}

@@ -68,6 +68,30 @@ fn resnet50_graph_runs_the_full_dag_end_to_end() {
     );
 }
 
+/// Runs the serving example (in release mode — it executes ~128 scaled
+/// ResNet-50 inferences) and checks that the concurrent requests were
+/// coalesced into multi-batch runs and verified against solo runs.
+#[test]
+fn serve_resnet50_coalesces_and_verifies_concurrent_requests() {
+    let (stdout, stderr, code, ok) = run_example(&["--release"], "serve_resnet50");
+    assert!(
+        ok,
+        "serve_resnet50 exited with {code:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+    );
+    assert!(
+        stdout.contains("dynamic batching coalesced concurrent requests into multi-batch runs"),
+        "coalescing line missing\nstdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("verified bit-identical to solo batch-1 runs"),
+        "verification line missing\nstdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("serving OK"),
+        "summary missing\nstdout:\n{stdout}"
+    );
+}
+
 /// Runs the pipelined ResNet-50 example (in release mode — the co-search
 /// planning phase is too slow unoptimized) and checks the pipeline summary.
 #[test]

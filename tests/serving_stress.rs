@@ -1,0 +1,275 @@
+//! Concurrency stress for the serving front-end: many client threads drive
+//! one `Server` hosting several small models at once, so the shared
+//! compiled-route cache, the per-model session maps, and the admission
+//! queue all see real contention. Every response must be bit-identical to a
+//! solo (batch-1) run of the same input — the scheduler is free to coalesce
+//! requests however the timing falls, and that freedom must be invisible in
+//! the results. A poisoned lock anywhere panics the scheduler or a client,
+//! so the test doubles as a no-poisoned-locks check.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use feather::{FeatherConfig, GraphSession};
+use feather_arch::graph::{Graph, NodeId};
+use feather_arch::tensor::Tensor4;
+use feather_arch::workload::{ConvLayer, GemmLayer};
+use feather_serve::{block_on, ServeConfig, ServeError, Server};
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 12;
+const INPUTS_PER_MODEL: usize = 4;
+
+/// conv → (identity ‖ proj) → add → conv: a residual join in miniature.
+fn residual_model() -> Graph {
+    let mut g = Graph::new("residual", [1, 4, 6, 6]);
+    let stem = g
+        .conv(
+            g.input(),
+            ConvLayer::new(1, 4, 4, 6, 6, 3, 3)
+                .with_padding(1)
+                .with_name("stem"),
+        )
+        .unwrap();
+    let main = g
+        .conv(stem, ConvLayer::new(1, 8, 4, 6, 6, 1, 1).with_name("main"))
+        .unwrap();
+    let proj = g
+        .conv(stem, ConvLayer::new(1, 8, 4, 6, 6, 1, 1).with_name("proj"))
+        .unwrap();
+    let join = g.add(main, proj, "add").unwrap();
+    g.conv(join, ConvLayer::new(1, 4, 8, 6, 6, 1, 1).with_name("head"))
+        .unwrap();
+    g
+}
+
+/// A plain two-conv chain at a different input shape.
+fn chain_model() -> Graph {
+    let mut g = Graph::new("chain", [1, 2, 8, 8]);
+    let stem = g
+        .conv(
+            g.input(),
+            ConvLayer::new(1, 4, 2, 8, 8, 3, 3)
+                .with_padding(1)
+                .with_name("stem"),
+        )
+        .unwrap();
+    g.conv(stem, ConvLayer::new(1, 2, 4, 8, 8, 1, 1).with_name("head"))
+        .unwrap();
+    g
+}
+
+/// conv → global-average-pool lowering → FC GEMM: the classifier-tail shape.
+fn classifier_model() -> Graph {
+    let mut g = Graph::new("classifier", [1, 2, 8, 8]);
+    let stem = g
+        .conv(
+            g.input(),
+            ConvLayer::new(1, 8, 2, 8, 8, 3, 3)
+                .with_padding(1)
+                .with_name("stem"),
+        )
+        .unwrap();
+    let pooled = g.avgpool_as_conv(stem, 8, 1, 0, "gap").unwrap();
+    g.gemm(pooled, GemmLayer::new(1, 8, 6).with_name("fc"))
+        .unwrap();
+    g
+}
+
+struct ModelFixture {
+    name: &'static str,
+    weights: BTreeMap<NodeId, Tensor4<i8>>,
+    inputs: Vec<Tensor4<i8>>,
+    goldens: Vec<Tensor4<i32>>,
+    graph: Graph,
+}
+
+fn fixture(name: &'static str, graph: Graph, seed: u64) -> ModelFixture {
+    let config = FeatherConfig::new(4, 8);
+    let weights = graph.random_weights(seed);
+    let solo = GraphSession::auto(config, &graph).unwrap();
+    let [_, c, h, w] = graph.tensor_shape(graph.input());
+    let inputs: Vec<Tensor4<i8>> = (0..INPUTS_PER_MODEL)
+        .map(|i| Tensor4::random([1, c, h, w], seed * 100 + i as u64))
+        .collect();
+    let goldens = inputs
+        .iter()
+        .map(|iacts| solo.run(iacts, &weights).unwrap().oacts)
+        .collect();
+    ModelFixture {
+        name,
+        weights,
+        inputs,
+        goldens,
+        graph,
+    }
+}
+
+#[test]
+fn concurrent_mixed_model_traffic_is_bit_identical_to_solo_runs() {
+    let fixtures: Arc<Vec<ModelFixture>> = Arc::new(vec![
+        fixture("residual", residual_model(), 7),
+        fixture("chain", chain_model(), 11),
+        fixture("classifier", classifier_model(), 13),
+    ]);
+
+    let server = Arc::new(Server::new(ServeConfig {
+        max_batch: 4,
+        queue_depth: 64,
+        batch_window: Duration::from_micros(300),
+        default_deadline: None,
+    }));
+    for f in fixtures.iter() {
+        server
+            .register_model(
+                f.name,
+                FeatherConfig::new(4, 8),
+                &f.graph,
+                f.weights.clone(),
+            )
+            .unwrap();
+    }
+
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let server = server.clone();
+            let fixtures = fixtures.clone();
+            scope.spawn(move || {
+                for i in 0..REQUESTS_PER_CLIENT {
+                    // Deterministic mixed-model schedule: clients interleave
+                    // models and inputs differently so same-model bursts and
+                    // cross-model interleavings both occur.
+                    let f = &fixtures[(client + i) % fixtures.len()];
+                    let input = (client * REQUESTS_PER_CLIENT + i) % f.inputs.len();
+                    let ticket = server
+                        .submit(
+                            &format!("tenant-{}", client % 3),
+                            f.name,
+                            f.inputs[input].clone(),
+                        )
+                        .unwrap();
+                    // Half the clients exercise the Future surface, half the
+                    // blocking one.
+                    let response = if client % 2 == 0 {
+                        block_on(ticket).unwrap()
+                    } else {
+                        ticket.wait().unwrap()
+                    };
+                    assert_eq!(
+                        response.oacts, f.goldens[input],
+                        "client {client} request {i} ({}) diverged from the solo run",
+                        f.name
+                    );
+                    assert!(response.batch_size >= 1);
+                    assert!(response.cycles > 0);
+                }
+            });
+        }
+    });
+
+    let stats = server.stats();
+    let total = (CLIENTS * REQUESTS_PER_CLIENT) as u64;
+    assert_eq!(stats.completed, total);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.timed_out, 0);
+    assert!(stats.executed_batches() >= 1);
+    assert_eq!(
+        stats
+            .batches
+            .iter()
+            .map(|(k, n)| *k as u64 * n)
+            .sum::<u64>(),
+        total,
+        "the batch histogram must account for every completed request"
+    );
+    assert_eq!(stats.tenants.len(), 3);
+    for (tenant, t) in &stats.tenants {
+        assert!(t.completed > 0, "tenant {tenant} completed nothing");
+        assert!(t.cycles > 0 && t.dram_bytes > 0);
+        assert!(t.mean_latency_us() > 0.0);
+    }
+
+    // The shared route caches were hit from many threads; counters must be
+    // coherent and eviction must not have run for these few shapes.
+    for f in fixtures.iter() {
+        let cache = server.route_cache_stats(f.name).unwrap();
+        assert!(
+            cache.misses > 0,
+            "{}: the first lookups populate the cache",
+            f.name
+        );
+        assert_eq!(cache.evictions, 0);
+        assert!(cache.entries as u64 <= cache.misses);
+    }
+}
+
+#[test]
+fn contended_admission_never_loses_or_duplicates_requests() {
+    let f = fixture("chain", chain_model(), 23);
+    let server = Arc::new(Server::new(ServeConfig {
+        max_batch: 2,
+        queue_depth: 4,
+        batch_window: Duration::from_micros(100),
+        default_deadline: None,
+    }));
+    server
+        .register_model(
+            f.name,
+            FeatherConfig::new(4, 8),
+            &f.graph,
+            f.weights.clone(),
+        )
+        .unwrap();
+
+    // Fire-and-wait from many threads against a tiny queue: every submit
+    // either yields a bit-identical response or a clean QueueFull — nothing
+    // hangs, nothing poisons.
+    let mut accepted = 0u64;
+    let mut bounced = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                let server = server.clone();
+                let f = &f;
+                scope.spawn(move || {
+                    let mut ok = 0u64;
+                    let mut full = 0u64;
+                    for i in 0..REQUESTS_PER_CLIENT {
+                        let input = (client + i) % f.inputs.len();
+                        match server.submit("t", f.name, f.inputs[input].clone()) {
+                            Ok(ticket) => {
+                                assert_eq!(ticket.wait().unwrap().oacts, f.goldens[input]);
+                                ok += 1;
+                            }
+                            Err(ServeError::QueueFull { depth }) => {
+                                assert_eq!(depth, 4);
+                                full += 1;
+                            }
+                            Err(e) => panic!("unexpected submit error: {e}"),
+                        }
+                    }
+                    (ok, full)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (ok, full) = handle.join().unwrap();
+            accepted += ok;
+            bounced += full;
+        }
+    });
+
+    assert_eq!(accepted + bounced, (CLIENTS * REQUESTS_PER_CLIENT) as u64);
+    let stats = server.stats();
+    assert_eq!(stats.completed, accepted);
+    assert_eq!(stats.rejected, bounced);
+    assert_eq!(
+        stats
+            .batches
+            .iter()
+            .map(|(k, n)| *k as u64 * n)
+            .sum::<u64>(),
+        accepted
+    );
+}
