@@ -5,19 +5,23 @@
 //! criterion then measures their wall time.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use feather::{FeatherConfig, GraphSession};
+use feather::{FeatherConfig, GraphSession, ProgramSession};
 use feather_arch::graph::resnet50_graph_scaled;
 use feather_arch::tensor::Tensor4;
 
 fn bench_graph_resnet(c: &mut Criterion) {
     // Channels/16, spatial/16 keeps one full-graph iteration in the
     // millisecond range while preserving all 53 convs and 16 joins.
+    // Planning (`GraphSession::auto`) and ahead-of-time compilation
+    // (`compile()`) happen here, outside every measured loop, so the
+    // scenarios isolate execution cost from one-time setup.
     let graph = resnet50_graph_scaled(16, 16);
     let session = GraphSession::auto(FeatherConfig::new(8, 16), &graph)
         .expect("scaled resnet50 graph compiles");
     let [_, ch, h, w] = graph.tensor_shape(graph.input());
     let iacts = Tensor4::random([1, ch, h, w], 7);
     let weights = graph.random_weights(8);
+    let replay = ProgramSession::new(session.compile().expect("graph lowers to a program"));
 
     // DRAM traffic comparison (identical on every iteration — print once).
     let run = session.run(&iacts, &weights).expect("graph executes");
@@ -32,10 +36,19 @@ fn bench_graph_resnet(c: &mut Criterion) {
     );
     assert!(run.report.dram_activation_bytes() < run.report.layer_at_a_time_activation_bytes());
 
+    // The compiled replay is bit-identical to the interpreted run; the bench
+    // then measures how much faster it dispatches.
+    let replayed = replay.run(&iacts, &weights).expect("program replays");
+    assert_eq!(replayed.oacts, run.oacts);
+    assert_eq!(replayed.report, run.report);
+
     let mut group = c.benchmark_group("graph_resnet");
     group.sample_size(10);
     group.bench_function("graph_session", |b| {
         b.iter(|| session.run(&iacts, &weights).unwrap())
+    });
+    group.bench_function("program_replay", |b| {
+        b.iter(|| replay.run(&iacts, &weights).unwrap())
     });
     group.bench_function("layer_at_a_time", |b| {
         b.iter(|| session.run_layer_at_a_time(&iacts, &weights).unwrap())

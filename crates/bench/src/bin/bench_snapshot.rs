@@ -11,18 +11,27 @@
 //! cargo run --release -p feather-bench --bin bench_snapshot [-- --pr N] [-- --out BENCH.json]
 //! ```
 //!
-//! On top of the wall-time scenarios, a closed-loop serving traffic
-//! generator (Poisson think times plus heavy-tail zero-think bursts from 16
-//! client threads) sweeps the `feather-serve` dynamic batcher across
-//! `max_batch ∈ {1, 2, 4, 8}` and records throughput plus p50/p99 latency
-//! per point — the throughput-vs-batch-size curve for the serving
-//! front-end.
+//! On top of the wall-time scenarios, two serving traffic generators
+//! exercise the `feather-serve` front-end (replay-backed since PR 7 — the
+//! scheduler compiles each (model, batch) into a `feather::Program` once and
+//! replays it per request):
+//!
+//! - **Closed loop** — Poisson think times plus heavy-tail zero-think bursts
+//!   from 16 client threads, swept across the dynamic batcher's
+//!   `max_batch ∈ {1, 2, 4, 8}`: the throughput-vs-batch-size curve. Each
+//!   point also records the program-cache counters proving that
+//!   second-and-later requests do zero planning/compile work.
+//! - **Open loop** — arrival-rate driven: requests are submitted on a
+//!   Poisson schedule regardless of completions, swept across offered rates
+//!   to find the saturation knee (where achieved throughput falls away from
+//!   offered and latency blows up).
 //!
 //! `--pr N` stamps the snapshot and derives the default output path
-//! `BENCH_N.json` (default: 6, the PR that introduced the serving sweep —
-//! pass the current PR number when committing a new snapshot). Environment:
-//! `FEATHER_BENCH_ITERS` overrides the measured iteration count (default 5;
-//! the median is reported) and scales the traffic generator's request count.
+//! `BENCH_N.json` (default: 7, the PR that introduced compiled-program
+//! replay — pass the current PR number when committing a new snapshot).
+//! Environment: `FEATHER_BENCH_ITERS` overrides the measured iteration count
+//! (default 5; the median is reported) and scales the traffic generators'
+//! request counts.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -110,8 +119,10 @@ fn pipeline_bottleneck(iters: usize) -> Snapshot {
     }
 }
 
-fn graph_resnet(iters: usize) -> Snapshot {
-    // Identical graph to the `graph_resnet` Criterion bench.
+fn graph_resnet(iters: usize) -> (Snapshot, Snapshot) {
+    // Identical graph to the `graph_resnet` Criterion bench. Planning
+    // (`GraphSession::auto`) and compilation (`compile()`) both happen here,
+    // outside the measured loops, so the scenarios isolate execution cost.
     let graph = resnet50_graph_scaled(16, 16);
     let session = GraphSession::auto(FeatherConfig::new(8, 16), &graph)
         .expect("scaled resnet50 graph compiles");
@@ -119,14 +130,39 @@ fn graph_resnet(iters: usize) -> Snapshot {
     let iacts = Tensor4::random([1, ch, h, w], 7);
     let weights = graph.random_weights(8);
     let run = session.run(&iacts, &weights).expect("graph executes");
-    Snapshot {
-        name: "graph_resnet/graph_session",
-        wall_ms: median_ms(iters, || {
-            session.run(&iacts, &weights).expect("graph executes");
-        }),
-        cycles: run.report.total_cycles(),
-        dram_bytes: run.report.dram_bytes(),
-    }
+
+    let compile_start = Instant::now();
+    let program = session.compile().expect("graph compiles to a program");
+    let compile_ms = compile_start.elapsed().as_secs_f64() * 1e3;
+    let replay = feather::ProgramSession::new(program);
+    let replayed = replay.run(&iacts, &weights).expect("program replays");
+    // The replay contract: bit-identical outputs, cycles, DRAM and stats.
+    assert_eq!(replayed.oacts, run.oacts, "replay outputs diverged");
+    assert_eq!(replayed.report, run.report, "replay report diverged");
+    println!(
+        "graph_resnet compile: {compile_ms:.1} ms once, {} ops, {} route fires",
+        replay.program().num_ops(),
+        replay.program().route_fires()
+    );
+
+    (
+        Snapshot {
+            name: "graph_resnet/graph_session",
+            wall_ms: median_ms(iters, || {
+                session.run(&iacts, &weights).expect("graph executes");
+            }),
+            cycles: run.report.total_cycles(),
+            dram_bytes: run.report.dram_bytes(),
+        },
+        Snapshot {
+            name: "graph_resnet/program_replay",
+            wall_ms: median_ms(iters, || {
+                replay.run(&iacts, &weights).expect("program replays");
+            }),
+            cycles: replayed.report.total_cycles(),
+            dram_bytes: replayed.report.dram_bytes(),
+        },
+    )
 }
 
 /// Serial vs sharded on a layer with enough weight-tile/batch units to
@@ -190,6 +226,12 @@ struct ServingPoint {
     executed_batches: u64,
     mean_batch: f64,
     rejected: u64,
+    /// Requests served by replaying an already-compiled program.
+    program_hits: u64,
+    /// Batch sizes that forced a compile (at most one per distinct size).
+    program_misses: u64,
+    artifact_hits: u64,
+    artifact_misses: u64,
 }
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
@@ -278,9 +320,24 @@ fn serving_sweep(iters: usize) -> Vec<ServingPoint> {
             let wall = start.elapsed().as_secs_f64();
 
             let stats = server.stats();
+            let programs = server
+                .program_cache_stats("resnet50")
+                .expect("model is registered");
             latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
             let requests = latencies_ms.len() as u64;
             assert_eq!(stats.completed, requests, "every request must complete");
+            // The replay contract for serving: each distinct batch size
+            // compiles at most once; every other executed batch replays a
+            // cached program with zero planning/compile work.
+            assert!(
+                programs.misses <= max_batch as u64,
+                "at most one compile per distinct batch size"
+            );
+            assert_eq!(
+                programs.hits + programs.misses,
+                stats.executed_batches(),
+                "every executed batch either replayed or compiled-once"
+            );
             ServingPoint {
                 max_batch,
                 requests,
@@ -290,13 +347,103 @@ fn serving_sweep(iters: usize) -> Vec<ServingPoint> {
                 executed_batches: stats.executed_batches(),
                 mean_batch: stats.mean_batch(),
                 rejected: stats.rejected,
+                program_hits: programs.hits,
+                program_misses: programs.misses,
+                artifact_hits: programs.artifact_hits,
+                artifact_misses: programs.artifact_misses,
+            }
+        })
+        .collect()
+}
+
+/// One point of the offered-rate-vs-achieved-throughput curve.
+struct OpenLoopPoint {
+    offered_rps: f64,
+    achieved_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    completed: u64,
+    rejected: u64,
+    mean_batch: f64,
+}
+
+/// Open-loop (arrival-rate driven) traffic generator: requests are submitted
+/// on a Poisson schedule that does NOT wait for completions, so unlike the
+/// closed loop the offered load keeps pressing when the server falls behind.
+/// Swept across offered rates, the curve exposes the saturation knee: below
+/// it achieved ≈ offered and latency is flat; past it the queue (bounded at
+/// `queue_depth`) fills, latency blows up and admission control sheds load.
+fn open_loop_sweep(iters: usize) -> Vec<OpenLoopPoint> {
+    const RATES_RPS: [f64; 5] = [100.0, 200.0, 400.0, 800.0, 1600.0];
+    const DISTINCT_IMAGES: usize = 8;
+
+    let graph = resnet50_graph_scaled(16, 16);
+    let config = FeatherConfig::new(8, 16);
+    let weights = graph.random_weights(8);
+    let [_, c, h, w] = graph.tensor_shape(graph.input());
+    let images: Vec<Tensor4<i8>> = (0..DISTINCT_IMAGES)
+        .map(|i| Tensor4::random([1, c, h, w], 190 + i as u64))
+        .collect();
+
+    RATES_RPS
+        .iter()
+        .map(|&rate| {
+            // ~0.4 s of offered load per point (ITERS=1); more iterations
+            // lengthen the window up to 2x for steadier estimates.
+            let requests = ((rate * 0.4) as usize).clamp(40, 640) * iters.clamp(1, 2);
+            let server = Server::new(ServeConfig {
+                max_batch: 8,
+                queue_depth: 256,
+                batch_window: Duration::from_micros(800),
+                default_deadline: None,
+            });
+            server
+                .register_model("resnet50", config, &graph, weights.clone())
+                .expect("serving model registers");
+
+            let mut rng = ChaCha8Rng::seed_from_u64(rate as u64);
+            let start = Instant::now();
+            let mut next_arrival = Duration::ZERO;
+            let mut tickets = Vec::with_capacity(requests);
+            let mut rejected: u64 = 0;
+            for _ in 0..requests {
+                // Exponential inter-arrival times make the schedule a
+                // Poisson process; the schedule is absolute, so a slow
+                // server cannot push arrivals back (that is the open loop).
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                next_arrival += Duration::from_secs_f64(-u.ln() / rate);
+                if let Some(sleep) = next_arrival.checked_sub(start.elapsed()) {
+                    std::thread::sleep(sleep);
+                }
+                let img = rng.gen_range(0..images.len());
+                match server.submit("open-loop", "resnet50", images[img].clone()) {
+                    Ok(ticket) => tickets.push(ticket),
+                    Err(_) => rejected += 1, // admission control shed it
+                }
+            }
+            // Drain: every admitted request still resolves.
+            let mut latencies_ms: Vec<f64> = tickets
+                .into_iter()
+                .map(|t| t.wait().expect("admitted request completes").latency_us as f64 / 1e3)
+                .collect();
+            let wall = start.elapsed().as_secs_f64();
+            let stats = server.stats();
+            latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+            OpenLoopPoint {
+                offered_rps: rate,
+                achieved_rps: latencies_ms.len() as f64 / wall,
+                p50_ms: percentile(&latencies_ms, 0.50),
+                p99_ms: percentile(&latencies_ms, 0.99),
+                completed: stats.completed,
+                rejected,
+                mean_batch: stats.mean_batch(),
             }
         })
         .collect()
 }
 
 fn main() {
-    let mut pr: u32 = 6;
+    let mut pr: u32 = 7;
     let mut out_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -319,16 +466,17 @@ fn main() {
         .filter(|&n| n > 0)
         .unwrap_or(5);
 
-    let mut snapshots = vec![
-        functional_conv(iters),
-        pipeline_bottleneck(iters),
-        graph_resnet(iters),
-    ];
+    let mut snapshots = vec![functional_conv(iters), pipeline_bottleneck(iters)];
+    let (interpreted, replay) = graph_resnet(iters);
+    let replay_speedup = interpreted.wall_ms / replay.wall_ms.max(1e-9);
+    snapshots.push(interpreted);
+    snapshots.push(replay);
     let (serial, parallel) = parallel_pair(iters);
     let shard_speedup = serial.wall_ms / parallel.wall_ms.max(1e-9);
     snapshots.push(serial);
     snapshots.push(parallel);
     let serving = serving_sweep(iters);
+    let open_loop = open_loop_sweep(iters);
 
     // Hand-rolled JSON: the vendored serde shim's derives are no-ops (see
     // ROADMAP "Registry re-vendoring"), and the format is four flat fields.
@@ -353,7 +501,8 @@ fn main() {
         json.push_str(&format!(
             "    {{\"max_batch\": {}, \"requests\": {}, \"throughput_rps\": {:.1}, \
              \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"executed_batches\": {}, \
-             \"mean_batch\": {:.2}, \"rejected\": {}}}{}\n",
+             \"mean_batch\": {:.2}, \"rejected\": {}, \"program_hits\": {}, \
+             \"program_misses\": {}, \"artifact_hits\": {}, \"artifact_misses\": {}}}{}\n",
             p.max_batch,
             p.requests,
             p.throughput_rps,
@@ -362,7 +511,27 @@ fn main() {
             p.executed_batches,
             p.mean_batch,
             p.rejected,
+            p.program_hits,
+            p.program_misses,
+            p.artifact_hits,
+            p.artifact_misses,
             if i + 1 < serving.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"serving_open_loop\": [\n");
+    for (i, p) in open_loop.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"offered_rps\": {:.0}, \"achieved_rps\": {:.1}, \"p50_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"completed\": {}, \"rejected\": {}, \"mean_batch\": {:.2}}}{}\n",
+            p.offered_rps,
+            p.achieved_rps,
+            p.p50_ms,
+            p.p99_ms,
+            p.completed,
+            p.rejected,
+            p.mean_batch,
+            if i + 1 < open_loop.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");
@@ -374,24 +543,42 @@ fn main() {
             s.name, s.wall_ms, s.cycles, s.dram_bytes
         );
     }
+    println!("interpreted → replay speedup: {replay_speedup:.2}x");
     println!(
         "serial → sharded speedup: {shard_speedup:.2}x ({} workers on {} host threads)",
         default_threads(),
         default_threads()
     );
     println!(
-        "\n{:<10} {:>9} {:>12} {:>10} {:>10} {:>9} {:>11}",
-        "max_batch", "requests", "rps", "p50 ms", "p99 ms", "batches", "mean batch"
+        "\n{:<10} {:>9} {:>12} {:>10} {:>10} {:>9} {:>11} {:>11}",
+        "max_batch", "requests", "rps", "p50 ms", "p99 ms", "batches", "mean batch", "compiles"
     );
     for p in &serving {
         println!(
-            "{:<10} {:>9} {:>12.1} {:>10.3} {:>10.3} {:>9} {:>11.2}",
+            "{:<10} {:>9} {:>12.1} {:>10.3} {:>10.3} {:>9} {:>11.2} {:>11}",
             p.max_batch,
             p.requests,
             p.throughput_rps,
             p.p50_ms,
             p.p99_ms,
             p.executed_batches,
+            p.mean_batch,
+            p.program_misses,
+        );
+    }
+    println!(
+        "\n{:<12} {:>12} {:>10} {:>10} {:>10} {:>9} {:>11}",
+        "offered rps", "achieved", "p50 ms", "p99 ms", "completed", "shed", "mean batch"
+    );
+    for p in &open_loop {
+        println!(
+            "{:<12.0} {:>12.1} {:>10.3} {:>10.3} {:>10} {:>9} {:>11.2}",
+            p.offered_rps,
+            p.achieved_rps,
+            p.p50_ms,
+            p.p99_ms,
+            p.completed,
+            p.rejected,
             p.mean_batch,
         );
     }

@@ -211,6 +211,192 @@ impl RouteCache {
     }
 }
 
+/// Records the exact sequence of compiled routes a serial layer pass
+/// consumes, for ahead-of-time compilation ([`crate::program`]).
+///
+/// Routes are a pure function of layer geometry (the mapped-lane pattern and
+/// the oAct layout's bank assignment), never of data, so one zero-input
+/// collect pass captures the stream any future run will consume. The stream
+/// is stored as indices into a deduplicated slot table — the replay path
+/// borrows `&CompiledRoute` straight from the slot, with no hashing and no
+/// `Arc` traffic.
+#[derive(Debug, Default)]
+pub(crate) struct RouteRecorder {
+    slot_of: HashMap<ReductionRequest, u32>,
+    slots: Vec<Arc<CompiledRoute>>,
+    requests: Vec<ReductionRequest>,
+    stream: Vec<u32>,
+    block_starts: Vec<u32>,
+}
+
+impl RouteRecorder {
+    pub(crate) fn new() -> Self {
+        RouteRecorder::default()
+    }
+
+    /// Marks the start of work block `block` (one `(wt_m, wt_c, n)` triple).
+    /// The serial collect pass visits blocks in order, so the start offsets
+    /// land densely; sharded replay workers jump their cursor to
+    /// `block_starts[block]` when they pick up a block mid-stream.
+    fn enter_block(&mut self, block: usize) {
+        debug_assert_eq!(
+            block,
+            self.block_starts.len(),
+            "collect pass must visit blocks in order"
+        );
+        self.block_starts.push(self.stream.len() as u32);
+    }
+
+    fn record(&mut self, request: &ReductionRequest, route: &Arc<CompiledRoute>) {
+        let slot = match self.slot_of.get(request) {
+            Some(&slot) => slot,
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slot_of.insert(request.clone(), slot);
+                self.slots.push(route.clone());
+                self.requests.push(request.clone());
+                slot
+            }
+        };
+        self.stream.push(slot);
+    }
+
+    pub(crate) fn into_stream(self) -> RouteStream {
+        RouteStream {
+            slots: self.slots,
+            requests: self.requests,
+            stream: self.stream,
+            block_starts: self.block_starts,
+        }
+    }
+}
+
+/// A frozen route consumption sequence for one layer: the deduplicated
+/// compiled programs (`slots`), the originating requests (kept so a program
+/// artifact can be serialized and the routes deterministically recompiled on
+/// load), the per-fire slot indices in serial order, and the stream offset at
+/// which each `(wt_m, wt_c, n)` work block begins.
+#[derive(Debug, Clone)]
+pub(crate) struct RouteStream {
+    pub(crate) slots: Vec<Arc<CompiledRoute>>,
+    pub(crate) requests: Vec<ReductionRequest>,
+    pub(crate) stream: Vec<u32>,
+    pub(crate) block_starts: Vec<u32>,
+}
+
+impl RouteStream {
+    /// Rebuilds a stream from its serialized parts by re-routing every
+    /// request (routing is deterministic, so the recompiled programs are
+    /// identical to the recorded ones).
+    pub(crate) fn recompile(
+        birrd: &Birrd,
+        requests: Vec<ReductionRequest>,
+        stream: Vec<u32>,
+        block_starts: Vec<u32>,
+    ) -> Result<Self, ArchError> {
+        let slots = requests
+            .iter()
+            .map(|request| {
+                let config = birrd
+                    .route(request)
+                    .map_err(|e| ArchError::InvalidDataflow(e.to_string()))?;
+                Ok(Arc::new(
+                    CompiledRoute::compile(birrd.topology(), &config)
+                        .expect("routed configuration always matches the network shape"),
+                ))
+            })
+            .collect::<Result<Vec<_>, ArchError>>()?;
+        for &slot in &stream {
+            if slot as usize >= slots.len() {
+                return Err(ArchError::InvalidDataflow(
+                    "route stream references an out-of-range slot".into(),
+                ));
+            }
+        }
+        Ok(RouteStream {
+            slots,
+            requests,
+            stream,
+            block_starts,
+        })
+    }
+}
+
+/// How `run_conv_core` resolves reduce-reorder routes for a layer pass.
+pub(crate) enum RouteExecution<'a> {
+    /// Interpreted path: hash each request through the shared [`RouteCache`]
+    /// (with a worker-local L1 in front).
+    Cached(&'a RouteCache),
+    /// Compile path: like `Cached`, but also record the serial consumption
+    /// order into a [`RouteRecorder`]. Forces a single worker.
+    Collect(&'a RouteCache, &'a mut RouteRecorder),
+    /// Replay path: consume a prerecorded [`RouteStream`] cursor-style —
+    /// no request building, no hashing, no `Arc` clones.
+    Replay(&'a RouteStream),
+}
+
+/// The per-worker view of a [`RouteExecution`].
+enum SpanRoutes<'a> {
+    Cached {
+        cache: &'a RouteCache,
+        local: LocalRoutes,
+    },
+    Collect {
+        cache: &'a RouteCache,
+        local: LocalRoutes,
+        recorder: &'a mut RouteRecorder,
+    },
+    Replay {
+        stream: &'a RouteStream,
+        pos: usize,
+    },
+}
+
+/// The shareable (`Copy`) subset of [`RouteExecution`] handed to sharded
+/// workers; `Collect` is excluded because recording is inherently serial.
+#[derive(Clone, Copy)]
+enum WorkerRoutes<'a> {
+    Cached(&'a RouteCache),
+    Replay(&'a RouteStream),
+}
+
+impl<'a> WorkerRoutes<'a> {
+    fn span_routes(self) -> SpanRoutes<'a> {
+        match self {
+            WorkerRoutes::Cached(cache) => SpanRoutes::Cached {
+                cache,
+                local: LocalRoutes::new(),
+            },
+            WorkerRoutes::Replay(stream) => SpanRoutes::Replay { stream, pos: 0 },
+        }
+    }
+}
+
+/// Fills the reusable scratch `request` from the current fire batch: lane
+/// spans of every batched group plus their destination banks.
+fn fill_request(
+    request: &mut ReductionRequest,
+    batch: &[FireGroup],
+    mapped: &[bool],
+    c_cols: usize,
+) {
+    request.input_groups.fill(None);
+    request.group_destinations.clear();
+    for (gid, g) in batch.iter().enumerate() {
+        let lane = g.q_lane * c_cols;
+        let span = lane..lane + c_cols;
+        for (live, slot) in mapped[span.clone()]
+            .iter()
+            .zip(&mut request.input_groups[span])
+        {
+            if *live {
+                *slot = Some(gid);
+            }
+        }
+        request.group_destinations.insert(gid, g.bank);
+    }
+}
+
 /// Number of worker threads the executor uses when none is requested
 /// explicitly: the `FEATHER_THREADS` environment variable if set to a
 /// positive integer, otherwise the machine's available parallelism
@@ -266,9 +452,14 @@ pub(crate) fn oact_plan(layout: &feather_arch::layout::Layout, layer: &ConvLayer
 /// Everything the tile loop needs that is immutable across the whole layer:
 /// tiling factors, the precompiled address plans, the padded-coordinate
 /// tables and the BIRRD instance. Shared by reference across workers.
-struct CoreCtx<'a> {
-    layer: &'a ConvLayer,
-    weights: &'a Tensor4<i8>,
+///
+/// The struct is *owned* (no borrows) so a compiled [`crate::program::Program`]
+/// can build it once and replay it for the lifetime of a serving process; the
+/// interpreted path simply constructs one per run.
+#[derive(Debug, Clone)]
+pub(crate) struct LayerExec {
+    pub(crate) layer: ConvLayer,
+    pub(crate) mapping: LayerMapping,
     rows: usize,
     cols: usize,
     m_rows: usize,
@@ -294,12 +485,11 @@ struct CoreCtx<'a> {
     w_table: Vec<Option<usize>>,
 }
 
-impl<'a> CoreCtx<'a> {
-    fn new(
+impl LayerExec {
+    pub(crate) fn new(
         config: &FeatherConfig,
-        layer: &'a ConvLayer,
+        layer: &ConvLayer,
         mapping: &LayerMapping,
-        weights: &'a Tensor4<i8>,
     ) -> Result<Self, ArchError> {
         let rows = config.rows;
         let cols = config.cols;
@@ -332,9 +522,9 @@ impl<'a> CoreCtx<'a> {
             .map(|i| in_bounds((i / layer.s) * layer.stride + i % layer.s, layer.w))
             .collect();
 
-        Ok(CoreCtx {
-            layer,
-            weights,
+        Ok(LayerExec {
+            layer: layer.clone(),
+            mapping: mapping.clone(),
             rows,
             cols,
             m_rows,
@@ -358,6 +548,18 @@ impl<'a> CoreCtx<'a> {
     /// Work units for sharding: one per `(weight tile, batch sample)` pair.
     fn units(&self) -> usize {
         self.m_tiles * self.layer.n
+    }
+
+    /// The layer's BIRRD instance (used to re-route recorded requests when
+    /// loading a program artifact).
+    pub(crate) fn birrd(&self) -> &Birrd {
+        &self.birrd
+    }
+
+    /// Number of `(wt_m, wt_c, n)` work blocks a recorded route stream must
+    /// cover — one entry per `RouteStream::block_starts` slot.
+    pub(crate) fn block_count(&self) -> usize {
+        self.m_tiles * self.c_tiles * self.layer.n
     }
 }
 
@@ -390,37 +592,62 @@ struct SpanAccum {
 ///
 /// `iact` is the active StaB half (the layer's inputs, already staged in
 /// `mapping.iact_layout`); `oact` is the shadow half the reduced outputs land
-/// in, addressed by `mapping.oact_layout`. `route_cache` memoizes compiled
-/// BIRRD programs per reduction-reorder request. `expose_first_weight_load`
-/// charges the cold weight load of the first tile; a pipelined layer whose
-/// weights were prefetched during the previous layer passes `false`.
-/// `threads` requests an exact worker count (`Some(1)` forces serial); `None`
-/// auto-sizes from [`default_threads`] for layers with enough work.
-#[allow(clippy::too_many_arguments)]
+/// in, addressed by `mapping.oact_layout`. `routes` selects how reduce-reorder
+/// programs are resolved (cached lookup, cached + record, or replay of a
+/// recorded stream). `expose_first_weight_load` charges the cold weight load
+/// of the first tile; a pipelined layer whose weights were prefetched during
+/// the previous layer passes `false`. `threads` requests an exact worker
+/// count (`Some(1)` forces serial); `None` auto-sizes from
+/// [`default_threads`] for layers with enough work.
 pub(crate) fn run_conv_core(
-    config: &FeatherConfig,
-    layer: &ConvLayer,
-    mapping: &LayerMapping,
+    ctx: &LayerExec,
     weights: &Tensor4<i8>,
     iact: &mut LayoutView<'_, i32>,
     oact: &mut LayoutView<'_, i32>,
-    route_cache: &RouteCache,
+    routes: RouteExecution<'_>,
     expose_first_weight_load: bool,
     threads: Option<usize>,
 ) -> Result<CoreRun, ArchError> {
-    let ctx = CoreCtx::new(config, layer, mapping, weights)?;
     let units_total = ctx.units();
     let requested = match threads {
         Some(n) => n.max(1),
-        None if reference_macs(layer) >= AUTO_PARALLEL_MIN_MACS => default_threads(),
+        None if reference_macs(&ctx.layer) >= AUTO_PARALLEL_MIN_MACS => default_threads(),
         None => 1,
     };
     let workers = requested.min(units_total);
 
-    let spans = if workers <= 1 {
-        vec![run_span(&ctx, 0..units_total, iact, oact, route_cache)?]
-    } else {
-        run_sharded(&ctx, mapping, workers, iact, oact, route_cache)?
+    let spans = match routes {
+        RouteExecution::Collect(cache, recorder) => {
+            let mut span_routes = SpanRoutes::Collect {
+                cache,
+                local: LocalRoutes::new(),
+                recorder,
+            };
+            vec![run_span(
+                ctx,
+                weights,
+                0..units_total,
+                iact,
+                oact,
+                &mut span_routes,
+            )?]
+        }
+        RouteExecution::Cached(cache) => run_worker_spans(
+            ctx,
+            weights,
+            workers,
+            iact,
+            oact,
+            WorkerRoutes::Cached(cache),
+        )?,
+        RouteExecution::Replay(stream) => run_worker_spans(
+            ctx,
+            weights,
+            workers,
+            iact,
+            oact,
+            WorkerRoutes::Replay(stream),
+        )?,
     };
 
     // Reduce: sum the fire counts per tile across workers, then charge each
@@ -457,15 +684,38 @@ fn reference_macs(layer: &ConvLayer) -> u64 {
         * (c_red * layer.r * layer.s) as u64
 }
 
-/// Runs the span `0..units` split across `workers` scoped threads, each on
-/// forked buffers, and absorbs data + statistics back into the real views.
-fn run_sharded(
-    ctx: &CoreCtx<'_>,
-    mapping: &LayerMapping,
+/// Dispatches the full unit range serially or sharded, per `workers`.
+fn run_worker_spans(
+    ctx: &LayerExec,
+    weights: &Tensor4<i8>,
     workers: usize,
     iact: &mut LayoutView<'_, i32>,
     oact: &mut LayoutView<'_, i32>,
-    route_cache: &RouteCache,
+    routes: WorkerRoutes<'_>,
+) -> Result<Vec<SpanAccum>, ArchError> {
+    let units_total = ctx.units();
+    if workers <= 1 {
+        return Ok(vec![run_span(
+            ctx,
+            weights,
+            0..units_total,
+            iact,
+            oact,
+            &mut routes.span_routes(),
+        )?]);
+    }
+    run_sharded(ctx, weights, workers, iact, oact, routes)
+}
+
+/// Runs the span `0..units` split across `workers` scoped threads, each on
+/// forked buffers, and absorbs data + statistics back into the real views.
+fn run_sharded(
+    ctx: &LayerExec,
+    weights: &Tensor4<i8>,
+    workers: usize,
+    iact: &mut LayoutView<'_, i32>,
+    oact: &mut LayoutView<'_, i32>,
+    routes: WorkerRoutes<'_>,
 ) -> Result<Vec<SpanAccum>, ArchError> {
     let units_total = ctx.units();
     let chunk = units_total.div_ceil(workers);
@@ -490,9 +740,16 @@ fn run_sharded(
                 let (idims, odims) = (&idims, &odims);
                 scope.spawn(move || -> WorkerOut {
                     let accum = {
-                        let mut iview = LayoutView::new(&mut ibuf, &mapping.iact_layout, idims);
-                        let mut oview = LayoutView::new(&mut obuf, &mapping.oact_layout, odims);
-                        run_span(ctx, units, &mut iview, &mut oview, route_cache)?
+                        let mut iview = LayoutView::new(&mut ibuf, &ctx.mapping.iact_layout, idims);
+                        let mut oview = LayoutView::new(&mut obuf, &ctx.mapping.oact_layout, odims);
+                        run_span(
+                            ctx,
+                            weights,
+                            units,
+                            &mut iview,
+                            &mut oview,
+                            &mut routes.span_routes(),
+                        )?
                     };
                     Ok((accum, ibuf, obuf))
                 })
@@ -518,14 +775,15 @@ fn run_sharded(
 /// `(wt_m, n)` loop, `n` innermost). This is the whole hot loop; everything
 /// it allocates lives for the span.
 fn run_span(
-    ctx: &CoreCtx<'_>,
+    ctx: &LayerExec,
+    weights: &Tensor4<i8>,
     units: Range<usize>,
     iact: &mut LayoutView<'_, i32>,
     oact: &mut LayoutView<'_, i32>,
-    routes: &RouteCache,
+    routes: &mut SpanRoutes<'_>,
 ) -> Result<SpanAccum, ArchError> {
     let cols = ctx.cols;
-    let layer = ctx.layer;
+    let layer = &ctx.layer;
     let mut nest = NestArray::new(ctx.rows, cols);
     let mut accum = SpanAccum {
         tile_fires: vec![0; ctx.m_tiles * ctx.c_tiles],
@@ -534,13 +792,16 @@ fn run_span(
         birrd_adds: 0,
         macs: 0,
     };
-    let mut local_routes: LocalRoutes = HashMap::new();
 
     // Span-lifetime scratch: the steady state below is allocation-free (the
     // one exception is the reused lookup request's tiny destination map,
     // whose `BTreeMap` nodes reallocate per batch).
     let mut w_scratch = vec![0i8; ctx.rs];
-    let mut mapped = vec![false; cols];
+    // Lane-mapping masks, one `cols`-wide row per `(qt, m_lane)` pair. The
+    // mask depends only on the weight tile `(wt_m, wt_c)` and those two
+    // indices — not on `(n, p)` — so it is rebuilt once per tile and merely
+    // indexed inside the per-pixel hot loop.
+    let mut mapped_table = vec![false; ctx.q_tiles * ctx.m_rows * cols];
     let mut bus: Vec<Option<i32>> = vec![None; cols];
     let mut inputs: Vec<Option<i64>> = vec![None; cols];
     let mut outputs: Vec<Option<i64>> = vec![None; cols];
@@ -561,10 +822,40 @@ fn run_span(
         unit = wt_m * n_total + n_range.end;
 
         for wt_c in 0..ctx.c_tiles {
-            stage_weights(ctx, &mut nest, wt_m, wt_c, &mut w_scratch);
+            stage_weights(ctx, weights, &mut nest, wt_m, wt_c, &mut w_scratch);
             let tile = wt_m * ctx.c_tiles + wt_c;
+            for qt in 0..ctx.q_tiles {
+                for m_lane in 0..ctx.m_rows {
+                    let m = wt_m * ctx.m_rows + m_lane;
+                    let row = &mut mapped_table[(qt * ctx.m_rows + m_lane) * cols..][..cols];
+                    for (col, slot) in row.iter_mut().enumerate() {
+                        let q_lane = col / ctx.c_cols;
+                        let q = qt * ctx.q_cols + q_lane;
+                        let c = if ctx.depthwise {
+                            m
+                        } else {
+                            wt_c * ctx.c_cols + col % ctx.c_cols
+                        };
+                        *slot =
+                            q_lane < ctx.q_cols && q < ctx.q_total && m < layer.m && c < layer.c;
+                    }
+                }
+            }
 
             for n in n_range.clone() {
+                // One `(wt_m, wt_c, n)` triple is a work block with a
+                // data-independent route sub-sequence; recording marks its
+                // start and replay jumps its cursor there, so sharded
+                // replay workers stay in sync with the serial recording.
+                match routes {
+                    SpanRoutes::Cached { .. } => {}
+                    SpanRoutes::Collect { recorder, .. } => {
+                        recorder.enter_block(tile * n_total + n);
+                    }
+                    SpanRoutes::Replay { stream, pos } => {
+                        *pos = stream.block_starts[tile * n_total + n] as usize;
+                    }
+                }
                 for p in 0..ctx.p_total {
                     for qt in 0..ctx.q_tiles {
                         // ---- Phase 1: local temporal reduction ----
@@ -584,20 +875,8 @@ fn run_span(
                         // ---- Phase 2: row fires through BIRRD (RIR) ----
                         for m_lane in 0..ctx.m_rows {
                             let m = wt_m * ctx.m_rows + m_lane;
-                            for (col, slot) in mapped.iter_mut().enumerate() {
-                                let q_lane = col / ctx.c_cols;
-                                let q = qt * ctx.q_cols + q_lane;
-                                let c = if ctx.depthwise {
-                                    m
-                                } else {
-                                    wt_c * ctx.c_cols + col % ctx.c_cols
-                                };
-                                *slot = q_lane < ctx.q_cols
-                                    && q < ctx.q_total
-                                    && m < layer.m
-                                    && c < layer.c;
-                            }
-                            nest.fire_row_into(m_lane, &mapped, &mut bus);
+                            let mapped = &mapped_table[(qt * ctx.m_rows + m_lane) * cols..][..cols];
+                            nest.fire_row_into(m_lane, mapped, &mut bus);
                             accum.tile_fires[tile] += 1;
                             if m >= layer.m {
                                 continue;
@@ -640,23 +919,33 @@ fn run_span(
                                 }
                                 std::mem::swap(&mut groups, &mut pending);
 
-                                request.input_groups.fill(None);
-                                request.group_destinations.clear();
-                                for (gid, g) in batch.iter().enumerate() {
-                                    let lane = g.q_lane * ctx.c_cols;
-                                    let span = lane..lane + ctx.c_cols;
-                                    for (live, slot) in mapped[span.clone()]
-                                        .iter()
-                                        .zip(&mut request.input_groups[span])
-                                    {
-                                        if *live {
-                                            *slot = Some(gid);
-                                        }
+                                let owned_route;
+                                let route: &CompiledRoute = match routes {
+                                    SpanRoutes::Replay { stream, pos } => {
+                                        // The hot path: a prerecorded slot
+                                        // index — no request assembly, no
+                                        // hashing, no shared-map traffic.
+                                        let stream: &RouteStream = stream;
+                                        let slot = stream.stream[*pos] as usize;
+                                        *pos += 1;
+                                        &stream.slots[slot]
                                     }
-                                    request.group_destinations.insert(gid, g.bank);
-                                }
-                                let route =
-                                    routes.lookup(&ctx.birrd, &request, &mut local_routes)?;
+                                    SpanRoutes::Cached { cache, local } => {
+                                        fill_request(&mut request, &batch, mapped, ctx.c_cols);
+                                        owned_route = cache.lookup(&ctx.birrd, &request, local)?;
+                                        &owned_route
+                                    }
+                                    SpanRoutes::Collect {
+                                        cache,
+                                        local,
+                                        recorder,
+                                    } => {
+                                        fill_request(&mut request, &batch, mapped, ctx.c_cols);
+                                        owned_route = cache.lookup(&ctx.birrd, &request, local)?;
+                                        recorder.record(&request, &owned_route);
+                                        &owned_route
+                                    }
+                                };
 
                                 inputs.fill(None);
                                 for g in &batch {
@@ -702,7 +991,7 @@ fn run_span(
 /// already validated against the padding halo.
 #[allow(clippy::too_many_arguments)]
 fn phase1_step(
-    ctx: &CoreCtx<'_>,
+    ctx: &LayerExec,
     nest: &mut NestArray,
     iact: &mut LayoutView<'_, i32>,
     wt_m: usize,
@@ -713,7 +1002,7 @@ fn phase1_step(
     qt: usize,
     rs_step: usize,
 ) {
-    let layer = ctx.layer;
+    let layer = &ctx.layer;
     let m_base = wt_m * ctx.m_rows;
     if m_base >= layer.m {
         return;
@@ -764,13 +1053,14 @@ fn phase1_step(
 /// neither MAC nor drive the bus, so their stale registers are never read —
 /// no need to stage zero vectors for ragged tail tiles.
 fn stage_weights(
-    ctx: &CoreCtx<'_>,
+    ctx: &LayerExec,
+    weights: &Tensor4<i8>,
     nest: &mut NestArray,
     wt_m: usize,
     wt_c: usize,
     w_scratch: &mut [i8],
 ) {
-    let layer = ctx.layer;
+    let layer = &ctx.layer;
     for m_lane in 0..ctx.m_rows {
         let m = wt_m * ctx.m_rows + m_lane;
         for q_lane in 0..ctx.q_cols {
@@ -786,9 +1076,9 @@ fn stage_weights(
                 for r in 0..layer.r {
                     for s in 0..layer.s {
                         w_scratch[r * layer.s + s] = if ctx.depthwise {
-                            ctx.weights.get(c, 0, r, s)
+                            weights.get(c, 0, r, s)
                         } else {
-                            ctx.weights.get(m, c, r, s)
+                            weights.get(m, c, r, s)
                         };
                     }
                 }

@@ -78,7 +78,7 @@ type SchedulePick<'a> =
 
 /// One scheduled step of a graph execution plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Step {
+pub(crate) enum Step {
     /// Run segment `i` of the segment list through its [`NetworkSession`].
     Segment(usize),
     /// Perform the residual add of the given node.
@@ -87,9 +87,9 @@ enum Step {
 
 /// A compiled segment: its graph span plus the pipeline session executing it.
 #[derive(Debug, Clone)]
-struct SegmentExec {
-    segment: GraphSegment,
-    session: NetworkSession,
+pub(crate) struct SegmentExec {
+    pub(crate) segment: GraphSegment,
+    pub(crate) session: NetworkSession,
 }
 
 /// A DAG executor over FEATHER's pipelined StaB. See the
@@ -98,14 +98,14 @@ struct SegmentExec {
 pub struct GraphSession {
     config: FeatherConfig,
     graph: Graph,
-    segments: Vec<SegmentExec>,
-    plan: Vec<Step>,
+    pub(crate) segments: Vec<SegmentExec>,
+    pub(crate) plan: Vec<Step>,
     /// Batch size every tensor's `N` extent is replaced with at run time
     /// (the graph's authored batch until [`GraphSession::with_batch`]).
     batch: usize,
     quant_shift: u32,
     quant_zero: i8,
-    energy_model: EnergyModel,
+    pub(crate) energy_model: EnergyModel,
 }
 
 impl GraphSession {
@@ -319,6 +319,40 @@ impl GraphSession {
     /// Number of linear segments the graph was partitioned into.
     pub fn segment_count(&self) -> usize {
         self.segments.len()
+    }
+
+    /// Lowers this session into a flat, replayable [`crate::Program`]: all
+    /// layouts, location tables, BIRRD routes and scratch moves resolved
+    /// ahead of time, so [`crate::ProgramSession::run`] dispatches the op
+    /// stream linearly with zero per-layer planning. Replay is bit-identical
+    /// to [`GraphSession::run`] — outputs, cycles and access statistics alike.
+    ///
+    /// # Errors
+    /// Returns an error if a route cannot be compiled — the same conditions
+    /// under which [`GraphSession::run`] itself would fail.
+    pub fn compile(&self) -> Result<crate::Program, ArchError> {
+        crate::program::compile(self)
+    }
+
+    /// Like [`GraphSession::compile`], but backed by the on-disk artifact
+    /// cache under `FEATHER_CACHE_DIR/programs/` (next to the co-search
+    /// cache): a matching artifact is loaded instead of recompiled, and a
+    /// fresh compile is saved back. Returns the program together with where
+    /// it came from.
+    ///
+    /// # Errors
+    /// Same conditions as [`GraphSession::compile`]; artifact I/O failures
+    /// degrade to a recompile, never to an error.
+    pub fn compile_cached(&self) -> Result<(crate::Program, crate::ArtifactStatus), ArchError> {
+        crate::program::compile_cached(self)
+    }
+
+    /// A stable fingerprint of everything that determines this session's
+    /// compiled program: hardware config, batch, quantization, the schedule
+    /// (mappings and layouts) and the graph structure. Keys the on-disk
+    /// program artifacts.
+    pub fn fingerprint(&self) -> u64 {
+        crate::program::session_fingerprint(self)
     }
 
     /// Executes the whole DAG. `weights` holds one tensor per node that
@@ -560,7 +594,7 @@ fn boundary_oact_layout(
 /// All-ones (depthwise) or channel-identity (standard) window weights for a
 /// pooling-as-convolution lowering: each output pixel becomes the plain window
 /// sum, whose `1/w²` average scaling folds into the boundary quantization.
-fn pool_window_weights(conv: &ConvLayer) -> Tensor4<i8> {
+pub(crate) fn pool_window_weights(conv: &ConvLayer) -> Tensor4<i8> {
     if conv.is_depthwise() {
         Tensor4::from_fn([conv.c, 1, conv.r, conv.s], |_, _, _, _| 1)
     } else {
@@ -572,7 +606,7 @@ fn pool_window_weights(conv: &ConvLayer) -> Tensor4<i8> {
 
 /// Widens an INT8 tensor to the INT32 accumulator domain (for graphs whose
 /// output node is a join).
-fn widen(t: &Tensor4<i8>) -> Tensor4<i32> {
+pub(crate) fn widen(t: &Tensor4<i8>) -> Tensor4<i32> {
     let [a, b, c, d] = t.shape();
     Tensor4::from_fn([a, b, c, d], |i, j, k, l| t.get(i, j, k, l) as i32)
 }

@@ -54,6 +54,7 @@ pub mod config;
 mod core;
 pub mod graph_session;
 pub mod mapping;
+pub mod program;
 pub mod report;
 pub mod session;
 
@@ -62,6 +63,7 @@ pub use accelerator::Feather;
 pub use config::FeatherConfig;
 pub use graph_session::GraphSession;
 pub use mapping::LayerMapping;
+pub use program::{ArtifactStatus, Program, ProgramSession};
 pub use report::{
     GraphReport, GraphRun, JoinSummary, LayerRun, LayerSummary, NetworkReport, NetworkRun,
     RunReport, SegmentSummary,

@@ -57,7 +57,7 @@ use feather_memsim::{AccessStats, Banking, BufferSpec, LayoutView, PingPong};
 
 use crate::accelerator::{check_weight_shape, Feather};
 use crate::config::FeatherConfig;
-use crate::core::{run_conv_core, CoreRun, RouteCache, RouteCacheStats};
+use crate::core::{run_conv_core, CoreRun, LayerExec, RouteCache, RouteCacheStats, RouteExecution};
 use crate::mapping::LayerMapping;
 use crate::report::{LayerSummary, NetworkReport, NetworkRun, RunReport};
 
@@ -290,6 +290,18 @@ impl NetworkSession {
         self.route_cache = cache;
     }
 
+    /// The session's shared compiled-route cache — the program compiler
+    /// resolves (and warms) routes through it during the collect pass.
+    pub(crate) fn route_cache(&self) -> &Arc<RouteCache> {
+        &self.route_cache
+    }
+
+    /// The pinned executor worker count (`None` = auto-size per layer) — a
+    /// compiled program captures it so replay shards identically.
+    pub(crate) fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+
     /// Counters of the session's shared compiled-route cache (hits, misses,
     /// evictions, resident programs). Batched copies made with
     /// [`NetworkSession::with_batch`] share the same cache, so their traffic
@@ -376,17 +388,16 @@ impl NetworkSession {
             let oact_base = *stab.shadow_ref().stats();
 
             let core = {
+                let exec = LayerExec::new(&self.config, layer, mapping)?;
                 let (active, shadow) = stab.split_mut();
                 let mut iact_view = LayoutView::new(active, &mapping.iact_layout, &idims);
                 let mut oact_view = LayoutView::new(shadow, &mapping.oact_layout, &odims);
                 run_conv_core(
-                    &self.config,
-                    layer,
-                    mapping,
+                    &exec,
                     layer_weights,
                     &mut iact_view,
                     &mut oact_view,
-                    route_cache,
+                    RouteExecution::Cached(route_cache),
                     // Only the very first tile's weight load is exposed: a
                     // pipelined layer's weights prefetch into the NEST shadow
                     // registers while the previous layer drains.
@@ -484,44 +495,19 @@ impl NetworkSession {
         Ok(last.expect("session is non-empty"))
     }
 
-    /// Buffer discipline of the active half while layer `i` reads its iActs:
-    /// for read-conflict purposes the StaB behaves like one dual-ported
-    /// logical bank — reading more than two distinct lines in a cycle stalls.
+    /// Buffer discipline of the active half while layer `i` reads its iActs.
     fn iact_spec(&self, i: usize) -> BufferSpec {
         let (layer, mapping) = &self.steps[i];
-        let lines = mapping
-            .iact_layout
-            .total_lines(&layer.iact_dim_sizes())
-            .max(1);
-        BufferSpec::new(
-            lines,
-            mapping.iact_layout.line_size(),
-            1,
-            Banking::VerticalBlocked,
-        )
-        .with_ports(2, 2)
+        iact_spec(layer, mapping)
     }
 
-    /// Buffer discipline of the shadow half while layer `i` writes its oActs:
-    /// `AW` horizontal banks, one element column each (§III-C).
+    /// Buffer discipline of the shadow half while layer `i` writes its oActs.
     fn oact_spec(&self, i: usize) -> BufferSpec {
         let (layer, mapping) = &self.steps[i];
-        let lines = mapping
-            .oact_layout
-            .total_lines(&layer.oact_dim_sizes())
-            .max(1);
-        BufferSpec::new(
-            lines,
-            mapping.oact_layout.line_size(),
-            mapping.oact_layout.line_size(),
-            Banking::Horizontal,
-        )
-        .with_ports(2, 2)
+        oact_spec(layer, mapping)
     }
 
-    /// Assembles one layer's report from the core counters and the per-layer
-    /// buffer statistics, with pipelined DRAM accounting: only the first
-    /// layer stages iActs from DRAM, only the last drains oActs back.
+    /// Assembles one layer's report — see [`layer_summary`].
     fn layer_summary(
         &self,
         layer: &ConvLayer,
@@ -531,58 +517,114 @@ impl NetworkSession {
         is_first: bool,
         is_last: bool,
     ) -> LayerSummary {
-        let dtype = DataType::Int8;
-        let staged_iact_bytes = layer.operand_bytes(Operand::IActs, dtype);
-        let drained_oact_bytes = layer.operand_bytes(Operand::OActs, dtype);
-        let dram_iact_bytes = if is_first { staged_iact_bytes } else { 0 };
-        let dram_weight_bytes = layer.operand_bytes(Operand::Weights, dtype);
-        let dram_oact_bytes = if is_last { drained_oact_bytes } else { 0 };
-        let dram_bytes = dram_iact_bytes + dram_weight_bytes + dram_oact_bytes;
+        layer_summary(
+            &self.config,
+            &self.energy_model,
+            layer,
+            core,
+            iact_stats,
+            oact_stats,
+            is_first,
+            is_last,
+        )
+    }
+}
 
-        let stall_cycles = iact_stats.conflict_stall_cycles;
-        let cycles = core.cycles + stall_cycles;
-        let macs = core.macs;
-        let cols = self.config.cols;
+/// Buffer discipline of the active StaB half while a layer reads its iActs:
+/// for read-conflict purposes the StaB behaves like one dual-ported logical
+/// bank — reading more than two distinct lines in a cycle stalls. Shared by
+/// the interpreted session and the compiled-program replay path.
+pub(crate) fn iact_spec(layer: &ConvLayer, mapping: &LayerMapping) -> BufferSpec {
+    let lines = mapping
+        .iact_layout
+        .total_lines(&layer.iact_dim_sizes())
+        .max(1);
+    BufferSpec::new(
+        lines,
+        mapping.iact_layout.line_size(),
+        1,
+        Banking::VerticalBlocked,
+    )
+    .with_ports(2, 2)
+}
 
-        let energy = EnergyBreakdown {
-            compute_pj: macs as f64 * self.energy_model.mac_pj(dtype),
-            register_pj: macs as f64 * 2.0 * self.energy_model.register_pj_per_byte,
-            sram_pj: self
-                .energy_model
-                .sram_pj(iact_stats.element_reads + oact_stats.element_writes),
-            dram_pj: self.energy_model.dram_pj(dram_bytes),
-            noc_pj: (core.birrd_adds + core.birrd_passes * cols as u64) as f64
-                * self.energy_model.reduction_switch_pj,
-            leakage_pj: self.config.num_pes() as f64
-                * cycles as f64
-                * self.energy_model.leakage_pj_per_pe_cycle,
-        };
-        let utilization =
-            macs as f64 / (cycles.max(1) as f64 * self.config.num_pes() as f64).max(1.0);
+/// Buffer discipline of the shadow StaB half while a layer writes its oActs:
+/// `AW` horizontal banks, one element column each (§III-C).
+pub(crate) fn oact_spec(layer: &ConvLayer, mapping: &LayerMapping) -> BufferSpec {
+    let lines = mapping
+        .oact_layout
+        .total_lines(&layer.oact_dim_sizes())
+        .max(1);
+    BufferSpec::new(
+        lines,
+        mapping.oact_layout.line_size(),
+        mapping.oact_layout.line_size(),
+        Banking::Horizontal,
+    )
+    .with_ports(2, 2)
+}
 
-        LayerSummary {
-            name: layer.name.clone(),
-            report: RunReport {
-                cycles,
-                stall_cycles,
-                macs,
-                birrd_passes: core.birrd_passes,
-                birrd_adds: core.birrd_adds,
-                iact_stats,
-                oact_stats,
-                dram_iact_bytes,
-                dram_weight_bytes,
-                dram_oact_bytes,
-                utilization: utilization.min(1.0),
-                energy,
-            },
-            standalone_activation_dram_bytes: staged_iact_bytes + drained_oact_bytes,
-        }
+/// Assembles one layer's report from the core counters and the per-layer
+/// buffer statistics, with pipelined DRAM accounting: only the first layer
+/// stages iActs from DRAM, only the last drains oActs back. Shared by the
+/// interpreted session and the compiled-program replay path.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn layer_summary(
+    config: &FeatherConfig,
+    energy_model: &EnergyModel,
+    layer: &ConvLayer,
+    core: &CoreRun,
+    iact_stats: AccessStats,
+    oact_stats: AccessStats,
+    is_first: bool,
+    is_last: bool,
+) -> LayerSummary {
+    let dtype = DataType::Int8;
+    let staged_iact_bytes = layer.operand_bytes(Operand::IActs, dtype);
+    let drained_oact_bytes = layer.operand_bytes(Operand::OActs, dtype);
+    let dram_iact_bytes = if is_first { staged_iact_bytes } else { 0 };
+    let dram_weight_bytes = layer.operand_bytes(Operand::Weights, dtype);
+    let dram_oact_bytes = if is_last { drained_oact_bytes } else { 0 };
+    let dram_bytes = dram_iact_bytes + dram_weight_bytes + dram_oact_bytes;
+
+    let stall_cycles = iact_stats.conflict_stall_cycles;
+    let cycles = core.cycles + stall_cycles;
+    let macs = core.macs;
+    let cols = config.cols;
+
+    let energy = EnergyBreakdown {
+        compute_pj: macs as f64 * energy_model.mac_pj(dtype),
+        register_pj: macs as f64 * 2.0 * energy_model.register_pj_per_byte,
+        sram_pj: energy_model.sram_pj(iact_stats.element_reads + oact_stats.element_writes),
+        dram_pj: energy_model.dram_pj(dram_bytes),
+        noc_pj: (core.birrd_adds + core.birrd_passes * cols as u64) as f64
+            * energy_model.reduction_switch_pj,
+        leakage_pj: config.num_pes() as f64 * cycles as f64 * energy_model.leakage_pj_per_pe_cycle,
+    };
+    let utilization = macs as f64 / (cycles.max(1) as f64 * config.num_pes() as f64).max(1.0);
+
+    LayerSummary {
+        name: layer.name.clone(),
+        report: RunReport {
+            cycles,
+            stall_cycles,
+            macs,
+            birrd_passes: core.birrd_passes,
+            birrd_adds: core.birrd_adds,
+            iact_stats,
+            oact_stats,
+            dram_iact_bytes,
+            dram_weight_bytes,
+            dram_oact_bytes,
+            utilization: utilization.min(1.0),
+            energy,
+        },
+        standalone_activation_dram_bytes: staged_iact_bytes + drained_oact_bytes,
     }
 }
 
 /// Visits every oAct coordinate of a layer in `(N, M, P, Q)` order.
-fn for_each_oact(layer: &ConvLayer, mut f: impl FnMut([usize; 4])) {
+pub(crate) fn for_each_oact(layer: &ConvLayer, mut f: impl FnMut([usize; 4])) {
     for n in 0..layer.n {
         for m in 0..layer.m {
             for p in 0..layer.output_height() {

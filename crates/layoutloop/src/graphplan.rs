@@ -68,6 +68,33 @@ impl GraphPlan {
             .map(|r| r.evaluation.energy.total_pj())
             .sum()
     }
+
+    /// FNV-1a 64 fingerprint of the plan's *schedule* — graph name plus every
+    /// node's chosen `(dataflow, layout)` pair, in node order. Two plans that
+    /// fingerprint equal would lower to byte-identical compiled programs, so
+    /// this is the key downstream artifact caches (e.g.
+    /// `feather::GraphSession::compile_cached`'s program store under
+    /// `FEATHER_CACHE_DIR`) invalidate on: it changes exactly when a
+    /// co-search decision changes, not when modeled costs drift.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut text = format!("graph={}\n", self.graph_name);
+        for (id, r) in &self.per_node {
+            use std::fmt::Write;
+            let _ = writeln!(
+                text,
+                "node={id} dataflow={} layout={}",
+                r.dataflow, r.layout
+            );
+        }
+        let mut hash = OFFSET;
+        for byte in text.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+        hash
+    }
 }
 
 /// Plans a whole tensor DAG for pipelined execution. See the
@@ -321,6 +348,38 @@ mod tests {
         assert_eq!(cold.per_node, warm.per_node);
         assert_eq!(warm.cache_misses, 0);
         assert_eq!(warm.cache_hits, 4);
+    }
+
+    #[test]
+    fn fingerprint_tracks_schedule_not_costs() {
+        let g = branched_graph();
+        let arch = ArchSpec::feather_like(16, 16);
+        let mapper = MapperConfig::fast();
+        let mut cache = CoSearchCache::new();
+        let cold = plan_graph(&arch, &g, &mapper, 0, &mut cache).unwrap();
+        let warm = plan_graph(&arch, &g, &mapper, 0, &mut cache).unwrap();
+        // Identical schedules fingerprint equal, cold or warm.
+        assert_eq!(cold.fingerprint(), warm.fingerprint());
+
+        // Changing a node's chosen layout must change the fingerprint even
+        // when every modeled cost stays the same.
+        let mut altered = cold.clone();
+        let (&first, result) = altered.per_node.iter().next().unwrap();
+        let mut result = result.clone();
+        result.layout = if result.layout.to_string() == "HWC_C16" {
+            "CHW_W16".parse().unwrap()
+        } else {
+            "HWC_C16".parse().unwrap()
+        };
+        altered.per_node.insert(first, result);
+        assert_ne!(cold.fingerprint(), altered.fingerprint());
+
+        // Cost drift alone (cycles, energy) leaves the fingerprint alone.
+        let mut drifted = cold.clone();
+        for r in drifted.per_node.values_mut() {
+            r.evaluation.cycles += 1;
+        }
+        assert_eq!(cold.fingerprint(), drifted.fingerprint());
     }
 
     #[test]

@@ -45,6 +45,23 @@ const HEADER: &str = "feather-cosearch-cache v1";
 /// File name used inside `FEATHER_CACHE_DIR`.
 const FILE_NAME: &str = "cosearch.cache";
 
+/// The shared on-disk cache root, when `FEATHER_CACHE_DIR` is set.
+///
+/// All persisted FEATHER artifacts live under this one directory so a single
+/// environment variable warms every layer of the stack:
+///
+/// ```text
+/// $FEATHER_CACHE_DIR/
+///   cosearch.cache            co-search tables (this module)
+///   programs/
+///     <model>-b<batch>-<fingerprint>.program
+///                             compiled graph programs
+///                             (`feather::GraphSession::compile_cached`)
+/// ```
+pub fn cache_dir() -> Option<PathBuf> {
+    std::env::var_os("FEATHER_CACHE_DIR").map(PathBuf::from)
+}
+
 /// Percent-escapes the characters the format uses as separators.
 fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -323,7 +340,7 @@ impl CoSearchCache {
 
     /// The persistent cache file location, when `FEATHER_CACHE_DIR` is set.
     pub fn persistent_path() -> Option<PathBuf> {
-        std::env::var_os("FEATHER_CACHE_DIR").map(|dir| PathBuf::from(dir).join(FILE_NAME))
+        cache_dir().map(|dir| dir.join(FILE_NAME))
     }
 
     /// Loads the persistent cache if `FEATHER_CACHE_DIR` is set and holds

@@ -1,7 +1,5 @@
 //! Data-carrying buffer with per-cycle port accounting.
 
-use std::collections::BTreeSet;
-
 use serde::{Deserialize, Serialize};
 
 use crate::conflict::ConflictModel;
@@ -21,8 +19,11 @@ pub struct FunctionalBuffer<T> {
     spec: BufferSpec,
     data: Vec<Option<T>>,
     stats: AccessStats,
-    cycle_read_lines: BTreeSet<usize>,
-    cycle_write_lines: BTreeSet<usize>,
+    // Distinct lines touched this cycle. A handful of lines per cycle is the
+    // norm, so a linear-scanned Vec (capacity retained across cycles) beats a
+    // node-allocating set in the replay hot path.
+    cycle_read_lines: Vec<usize>,
+    cycle_write_lines: Vec<usize>,
     in_cycle: bool,
 }
 
@@ -33,8 +34,8 @@ impl<T: Copy> FunctionalBuffer<T> {
             spec,
             data: vec![None; spec.capacity()],
             stats: AccessStats::new(),
-            cycle_read_lines: BTreeSet::new(),
-            cycle_write_lines: BTreeSet::new(),
+            cycle_read_lines: Vec::new(),
+            cycle_write_lines: Vec::new(),
             in_cycle: false,
         }
     }
@@ -64,8 +65,8 @@ impl<T: Copy> FunctionalBuffer<T> {
             spec: self.spec,
             data: self.data.clone(),
             stats: AccessStats::new(),
-            cycle_read_lines: BTreeSet::new(),
-            cycle_write_lines: BTreeSet::new(),
+            cycle_read_lines: Vec::new(),
+            cycle_write_lines: Vec::new(),
             in_cycle: false,
         }
     }
@@ -172,19 +173,28 @@ impl<T: Copy> FunctionalBuffer<T> {
 
     /// Ends the current cycle, charging conflict stalls for the lines touched.
     pub fn flush_cycle(&mut self) {
-        if !self.in_cycle && self.cycle_read_lines.is_empty() && self.cycle_write_lines.is_empty() {
+        let touched = !self.cycle_read_lines.is_empty() || !self.cycle_write_lines.is_empty();
+        if !self.in_cycle && !touched {
             return;
         }
-        let model = ConflictModel::new(self.spec);
-        let read = model.assess_reads(self.cycle_read_lines.iter().copied());
-        let write = model.assess_writes(self.cycle_write_lines.iter().copied());
-        let touched = !self.cycle_read_lines.is_empty() || !self.cycle_write_lines.is_empty();
         if touched {
             self.stats.active_cycles += 1;
-            let slowdown = read.slowdown.max(write.slowdown);
-            // A slowdown of e.g. 2.0 means the accesses of this cycle actually
-            // take 2 cycles: one nominal + one stall.
-            self.stats.conflict_stall_cycles += (slowdown.ceil() as u64).saturating_sub(1);
+            // When the distinct lines touched fit within the ports, no bank
+            // can exceed its ports either (max_lines_per_bank <= total lines),
+            // so the slowdown is exactly 1.0 and the full assessment — which
+            // groups lines by bank — can be skipped. This is the common case
+            // in the replay hot path.
+            if self.cycle_read_lines.len() > self.spec.read_ports.max(1)
+                || self.cycle_write_lines.len() > self.spec.write_ports.max(1)
+            {
+                let model = ConflictModel::new(self.spec);
+                let read = model.assess_reads(self.cycle_read_lines.iter().copied());
+                let write = model.assess_writes(self.cycle_write_lines.iter().copied());
+                let slowdown = read.slowdown.max(write.slowdown);
+                // A slowdown of e.g. 2.0 means the accesses of this cycle
+                // actually take 2 cycles: one nominal + one stall.
+                self.stats.conflict_stall_cycles += (slowdown.ceil() as u64).saturating_sub(1);
+            }
         }
         self.cycle_read_lines.clear();
         self.cycle_write_lines.clear();
@@ -206,7 +216,8 @@ impl<T: Copy> FunctionalBuffer<T> {
         let idx = self.flat(line, offset);
         self.data[idx] = Some(value);
         self.stats.element_writes += 1;
-        if self.cycle_write_lines.insert(line) {
+        if !self.cycle_write_lines.contains(&line) {
+            self.cycle_write_lines.push(line);
             self.stats.line_writes += 1;
         }
     }
@@ -225,7 +236,8 @@ impl<T: Copy> FunctionalBuffer<T> {
         );
         let idx = self.flat(line, offset);
         self.stats.element_reads += 1;
-        if self.cycle_read_lines.insert(line) {
+        if !self.cycle_read_lines.contains(&line) {
+            self.cycle_read_lines.push(line);
             self.stats.line_reads += 1;
         }
         self.data[idx]

@@ -11,10 +11,16 @@
 //!   carry deadlines that expire into [`ServeError::Timeout`].
 //! - **Dynamic batching** — a scheduler thread coalesces concurrent
 //!   same-model requests (up to [`ServeConfig::max_batch`], waiting at most
-//!   [`ServeConfig::batch_window`]) into one multi-batch
-//!   [`feather::GraphSession`] run, then splits the outputs back per
-//!   request. Batch-`N` execution is bit-identical to `N` solo runs, so
-//!   coalescing is unobservable in the results.
+//!   [`ServeConfig::batch_window`]) into one multi-batch executor run, then
+//!   splits the outputs back per request. Batch-`N` execution is
+//!   bit-identical to `N` solo runs, so coalescing is unobservable in the
+//!   results.
+//! - **Compiled-program replay** — the first request at a (model, batch)
+//!   compiles the planned [`feather::GraphSession`] into a flat
+//!   [`feather::Program`] (checking the `FEATHER_CACHE_DIR` artifact cache
+//!   first); every later request replays the resident
+//!   [`feather::ProgramSession`] with zero planning or per-layer dispatch
+//!   work. [`ProgramCacheStats`] exposes the hit/miss/evict counters.
 //! - **Per-tenant accounting** — [`ServerStats`]/[`TenantStats`] aggregate
 //!   latency plus the modeled cycle and DRAM-byte totals of each batch,
 //!   divided across its requests.
@@ -60,5 +66,5 @@ pub mod ticket;
 
 pub use error::ServeError;
 pub use server::{Response, ServeConfig, Server};
-pub use stats::{ServerStats, TenantStats};
+pub use stats::{ProgramCacheStats, ServerStats, TenantStats};
 pub use ticket::{block_on, Ticket};

@@ -4,11 +4,17 @@
 //! One background scheduler thread owns execution. It pops the
 //! oldest queued request, waits up to [`ServeConfig::batch_window`] for more
 //! requests to the same model (up to [`ServeConfig::max_batch`]), coalesces
-//! them into one batched [`GraphSession`] run
-//! ([`GraphSession::with_batch`]), and splits the batch output back into
+//! them into one batched run, and splits the batch output back into
 //! per-request responses. Because batch-`N` execution is bit-identical to
 //! `N` solo runs (the `with_batch` equivalence contract), a tenant cannot
 //! observe whether its request was coalesced.
+//!
+//! The hot path replays compiled programs: the first request at a given
+//! (model, batch) compiles the planned [`GraphSession`] into a
+//! [`feather::Program`] (consulting the `FEATHER_CACHE_DIR` artifact cache
+//! first), and every later request replays the cached [`ProgramSession`]
+//! with zero planning, hashing or per-layer dispatch work —
+//! [`ProgramCacheStats`] counts exactly that.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -16,12 +22,12 @@ use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use feather::{FeatherConfig, GraphSession, RouteCacheStats};
+use feather::{ArtifactStatus, FeatherConfig, GraphSession, ProgramSession, RouteCacheStats};
 use feather_arch::graph::{Graph, NodeId};
 use feather_arch::tensor::Tensor4;
 
 use crate::error::ServeError;
-use crate::stats::ServerStats;
+use crate::stats::{ProgramCacheStats, ServerStats};
 use crate::ticket::{Promise, Ticket};
 
 /// Scheduling and admission knobs.
@@ -94,29 +100,64 @@ pub struct Response {
     pub dram_bytes: u64,
 }
 
-/// A registered model: its weights plus compiled sessions per batch size.
+/// Most compiled programs a model keeps resident at once. With the default
+/// `max_batch` of 8 every batch size fits; a bigger knob evicts in FIFO
+/// (oldest-compiled-first) order.
+const PROGRAM_CACHE_CAPACITY: usize = 16;
+
+/// One model's resident compiled programs plus the counters that prove the
+/// hot path replays instead of replanning.
+struct ProgramCache {
+    entries: BTreeMap<usize, Arc<ProgramSession>>,
+    /// Batch sizes in compile order — the FIFO eviction queue.
+    order: VecDeque<usize>,
+    stats: ProgramCacheStats,
+}
+
+/// A registered model: its weights plus compiled programs per batch size.
 struct Model {
     weights: BTreeMap<NodeId, Tensor4<i8>>,
     input_shape: [usize; 4],
-    /// The batch-1 session compiled at registration.
+    /// The planned batch-1 session from registration: the compile source for
+    /// every batched program (they all share its compiled-route cache) and
+    /// the golden interpreted reference.
     base: Arc<GraphSession>,
-    /// Lazily-compiled batched variants; they all share the base session's
-    /// compiled-route cache.
-    batched: Mutex<BTreeMap<usize, Arc<GraphSession>>>,
+    programs: Mutex<ProgramCache>,
 }
 
 impl Model {
-    fn session_for(&self, batch: usize) -> Result<Arc<GraphSession>, ServeError> {
-        if batch == self.base.batch() {
-            return Ok(self.base.clone());
+    /// The replay session for `batch`, compiling (through the on-disk
+    /// artifact cache) only on the first request at that batch size.
+    fn program_for(&self, batch: usize) -> Result<Arc<ProgramSession>, ServeError> {
+        let mut cache = self.programs.lock().expect("model lock poisoned");
+        if let Some(program) = cache.entries.get(&batch).cloned() {
+            cache.stats.hits += 1;
+            return Ok(program);
         }
-        let mut batched = self.batched.lock().expect("model lock poisoned");
-        if let Some(session) = batched.get(&batch) {
-            return Ok(session.clone());
+        cache.stats.misses += 1;
+        let (program, status) = if batch == self.base.batch() {
+            self.base.compile_cached()?
+        } else {
+            self.base.with_batch(batch)?.compile_cached()?
+        };
+        match status {
+            ArtifactStatus::Hit => cache.stats.artifact_hits += 1,
+            ArtifactStatus::Miss | ArtifactStatus::Disabled => cache.stats.artifact_misses += 1,
         }
-        let session = Arc::new(self.base.with_batch(batch)?);
-        batched.insert(batch, session.clone());
+        let session = Arc::new(ProgramSession::new(program));
+        cache.entries.insert(batch, session.clone());
+        cache.order.push_back(batch);
+        while cache.entries.len() > PROGRAM_CACHE_CAPACITY {
+            let oldest = cache.order.pop_front().expect("order tracks entries");
+            cache.entries.remove(&oldest);
+            cache.stats.evictions += 1;
+        }
+        cache.stats.resident = cache.entries.len();
         Ok(session)
+    }
+
+    fn program_cache_stats(&self) -> ProgramCacheStats {
+        self.programs.lock().expect("model lock poisoned").stats
     }
 }
 
@@ -218,7 +259,11 @@ impl Server {
             weights,
             input_shape,
             base,
-            batched: Mutex::new(BTreeMap::new()),
+            programs: Mutex::new(ProgramCache {
+                entries: BTreeMap::new(),
+                order: VecDeque::new(),
+                stats: ProgramCacheStats::default(),
+            }),
         });
         self.inner
             .models
@@ -327,6 +372,19 @@ impl Server {
             .expect("model registry poisoned")
             .get(model)
             .map(|m| m.base.route_cache_stats())
+    }
+
+    /// Counters of a registered model's compiled-program caches: in-memory
+    /// replay hits/misses/evictions plus on-disk artifact hits/misses. A
+    /// warm server shows only `hits` moving — second-and-later requests at a
+    /// (model, batch) do zero planning or compile work.
+    pub fn program_cache_stats(&self, model: &str) -> Option<ProgramCacheStats> {
+        self.inner
+            .models
+            .read()
+            .expect("model registry poisoned")
+            .get(model)
+            .map(|m| m.program_cache_stats())
     }
 
     /// The scheduling configuration the server runs with.
@@ -469,8 +527,8 @@ fn execute_batch(inner: &Inner, batch: Vec<Request>) {
         }
     };
 
-    let session = match model.session_for(size) {
-        Ok(session) => session,
+    let program = match model.program_for(size) {
+        Ok(program) => program,
         Err(err) => return failure(batch, err),
     };
 
@@ -480,7 +538,7 @@ fn execute_batch(inner: &Inner, batch: Vec<Request>) {
         batch[n].iacts.get(0, cc, hh, ww)
     });
 
-    let run = match session.run(&iacts, &model.weights) {
+    let run = match program.run(&iacts, &model.weights) {
         Ok(run) => run,
         Err(err) => return failure(batch, ServeError::Exec(err)),
     };
@@ -580,6 +638,34 @@ mod tests {
         assert_eq!(stats.tenants["bob"].completed, 2);
         assert!(stats.tenants["alice"].cycles > 0);
         assert!(stats.tenants["alice"].dram_bytes > 0);
+    }
+
+    #[test]
+    fn second_request_replays_the_cached_program() {
+        let g = tiny_graph("m");
+        let weights = g.random_weights(7);
+        let solo = GraphSession::auto(config(), &g).unwrap();
+        let server = Server::new(ServeConfig {
+            max_batch: 1,
+            ..ServeConfig::default()
+        });
+        server
+            .register_model("m", config(), &g, weights.clone())
+            .unwrap();
+        for seed in 0..3 {
+            let iacts = Tensor4::random([1, 2, 4, 4], 70 + seed);
+            let golden = solo.run(&iacts, &weights).unwrap().oacts;
+            let response = server.submit("t", "m", iacts).unwrap().wait().unwrap();
+            assert_eq!(response.oacts, golden);
+        }
+        let stats = server.program_cache_stats("m").unwrap();
+        // One compile on the first batch-1 request, replays ever after.
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.artifact_hits + stats.artifact_misses, 1);
+        assert_eq!(stats.resident, 1);
+        assert!(server.program_cache_stats("nope").is_none());
     }
 
     #[test]

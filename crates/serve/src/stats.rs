@@ -43,6 +43,34 @@ impl TenantStats {
     }
 }
 
+/// Counters of one model's compiled-program caches: the in-memory per-batch
+/// program cache the scheduler replays from, and the on-disk artifact cache
+/// (`FEATHER_CACHE_DIR/programs/`) consulted whenever an in-memory miss
+/// forces a compile.
+///
+/// Steady-state serving shows `hits` growing and everything else flat: each
+/// (model, batch) pair compiles at most once per process, and with a warm
+/// artifact cache even that compile is replaced by a disk load
+/// (`artifact_hits`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProgramCacheStats {
+    /// Requests served by replaying an already-resident compiled program
+    /// (zero planning or compile work).
+    pub hits: u64,
+    /// Batch sizes that had no resident program and triggered a compile or
+    /// artifact load.
+    pub misses: u64,
+    /// Resident programs dropped to keep the per-model cache bounded.
+    pub evictions: u64,
+    /// Compiles avoided by loading a matching on-disk artifact.
+    pub artifact_hits: u64,
+    /// Compiles that ran because no matching artifact existed (or the
+    /// artifact cache is disabled).
+    pub artifact_misses: u64,
+    /// Programs currently resident in the in-memory cache.
+    pub resident: usize,
+}
+
 /// A snapshot of the whole server's counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServerStats {

@@ -148,5 +148,31 @@ fn main() {
         report.dram_activation_savings() * 100.0,
     );
     assert!(report.dram_activation_bytes() < report.layer_at_a_time_activation_bytes());
+
+    // ---- 5. Compile to a program and replay ------------------------------
+    // With FEATHER_CACHE_DIR set the artifact persists next to the co-search
+    // cache, so a second run of this example loads it instead of recompiling.
+    let t2 = std::time::Instant::now();
+    let (program, status) = session.compile_cached().expect("graph lowers to a program");
+    let compile_wall = t2.elapsed();
+    let replay = feather::ProgramSession::new(program);
+    let t3 = std::time::Instant::now();
+    let replayed = replay.run(&iacts, &weights).expect("program replays");
+    let replay_wall = t3.elapsed();
+    assert_eq!(
+        replayed.oacts, run.oacts,
+        "replay diverged from interpreter"
+    );
+    assert_eq!(replayed.report, run.report, "replay report diverged");
+    println!(
+        "compiled program: {} ops, {} route fires, artifact {:?} in {:.2?}; \
+         replayed bit-identical in {:.2?} (interpreted {:.2?})",
+        replay.program().num_ops(),
+        replay.program().route_fires(),
+        status,
+        compile_wall,
+        replay_wall,
+        exec_wall,
+    );
     println!("graph pipeline OK");
 }

@@ -1,0 +1,92 @@
+//! Golden snapshot of [`feather::Program::dump`]: the human-readable listing
+//! of a compiled program is part of the debugging workflow (it is what you
+//! diff when a schedule change moves an op), so its exact shape is pinned
+//! here for a small fixed residual graph. An intentional change to the
+//! compiler or the listing format regenerates the snapshot with
+//! `FEATHER_BLESS=1 cargo test -p feather-suite --test program_dump_golden`.
+
+use feather::{FeatherConfig, GraphSession};
+use feather_arch::graph::Graph;
+use feather_arch::workload::ConvLayer;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/program_dump.txt"
+);
+
+/// A two-block residual graph, small enough that the whole listing stays
+/// readable but with every op kind represented: Stage, Fire, Reorder, Swap,
+/// Join and the Park/Unpark pair around the first shortcut.
+fn fixture() -> Graph {
+    let mut g = Graph::new("golden_residual", [1, 4, 6, 6]);
+    let stem = g
+        .conv(
+            g.input(),
+            ConvLayer::new(1, 4, 4, 6, 6, 3, 3)
+                .with_padding(1)
+                .with_name("stem"),
+        )
+        .unwrap();
+    let main = g
+        .conv(
+            stem,
+            ConvLayer::new(1, 8, 4, 6, 6, 1, 1).with_name("b0_main"),
+        )
+        .unwrap();
+    let proj = g
+        .conv(
+            stem,
+            ConvLayer::new(1, 8, 4, 6, 6, 1, 1).with_name("b0_proj"),
+        )
+        .unwrap();
+    let joined = g.add(main, proj, "b0_add").unwrap();
+    // Linear two-conv tail: fuses into one multi-layer segment, so the
+    // listing exercises the inter-layer Reorder op too.
+    let tail = g
+        .conv(
+            joined,
+            ConvLayer::new(1, 8, 8, 6, 6, 3, 3)
+                .with_padding(1)
+                .with_name("pre_head"),
+        )
+        .unwrap();
+    g.conv(tail, ConvLayer::new(1, 4, 8, 6, 6, 1, 1).with_name("head"))
+        .unwrap();
+    g
+}
+
+#[test]
+fn program_dump_matches_golden_snapshot() {
+    let graph = fixture();
+    let session = GraphSession::auto(FeatherConfig::new(4, 8), &graph).unwrap();
+    let dump = session.compile().unwrap().dump();
+
+    if std::env::var_os("FEATHER_BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &dump).unwrap();
+        return;
+    }
+
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden snapshot exists; regenerate with FEATHER_BLESS=1");
+    assert_eq!(
+        dump, golden,
+        "Program::dump() drifted from tests/golden/program_dump.txt.\n\
+         If the change is intentional, regenerate with\n\
+         FEATHER_BLESS=1 cargo test -p feather-suite --test program_dump_golden"
+    );
+}
+
+/// The listing must contain every op family the compiler can emit for a
+/// residual graph — a structural guard that stays valid across blessings.
+#[test]
+fn program_dump_lists_every_op_family() {
+    let graph = fixture();
+    let session = GraphSession::auto(FeatherConfig::new(4, 8), &graph).unwrap();
+    let dump = session.compile().unwrap().dump();
+    for needle in ["stage", "fire", "reorder", "swap", "join", "park", "unpark"] {
+        assert!(
+            dump.to_lowercase().contains(needle),
+            "dump is missing a {needle} op:\n{dump}"
+        );
+    }
+}
