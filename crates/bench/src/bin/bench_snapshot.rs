@@ -24,14 +24,18 @@
 //! - **Open loop** — arrival-rate driven: requests are submitted on a
 //!   Poisson schedule regardless of completions, swept across offered rates
 //!   to find the saturation knee (where achieved throughput falls away from
-//!   offered and latency blows up).
+//!   offered and latency blows up). Since PR 8 the sweep is a
+//!   `workers × max_batch` grid (executor-pool sizes {1, 2, 4} crossed with
+//!   batching off/on), so the snapshot shows what the pool and the batcher
+//!   each buy.
 //!
 //! `--pr N` stamps the snapshot and derives the default output path
-//! `BENCH_N.json` (default: 7, the PR that introduced compiled-program
-//! replay — pass the current PR number when committing a new snapshot).
+//! `BENCH_N.json` (default: 8, the PR that introduced the executor pool —
+//! pass the current PR number when committing a new snapshot).
 //! Environment: `FEATHER_BENCH_ITERS` overrides the measured iteration count
 //! (default 5; the median is reported) and scales the traffic generators'
-//! request counts.
+//! request counts; `FEATHER_SERVE_WORKERS` sizes the closed-loop sweep's
+//! executor pool (the open-loop grid pins its own).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -182,34 +186,40 @@ fn parallel_pair(iters: usize) -> (Snapshot, Snapshot) {
             .with_threads(threads)
     };
     let serial = build(1);
-    // Worker count follows the host (FEATHER_THREADS / available
-    // parallelism). On a single-thread host this resolves to 1, so the
-    // "sharded" scenario honestly reports the serial path instead of paying
-    // fork-and-join overhead for workers the machine cannot run — the
-    // BENCH_5 regression where sharded lost to serial. The sharded code path
-    // itself stays covered by `tests/parallel_equivalence.rs`, which pins
-    // explicit worker counts.
-    let parallel = build(default_threads());
     let golden = serial.run(&iacts, &weights).expect("serial run");
-    let check = parallel.run(&iacts, &weights).expect("parallel run");
-    assert_eq!(golden.oacts, check.oacts, "parallel run diverged");
-    assert_eq!(golden.report, check.report, "parallel report diverged");
     let cycles = golden.report.total_cycles();
     let dram_bytes = golden.report.dram_bytes();
+    let serial_wall = median_ms(iters, || {
+        serial.run(&iacts, &weights).expect("serial run");
+    });
+    // Worker count follows the host (FEATHER_THREADS / available
+    // parallelism). On a single-thread host `effective_workers` resolves the
+    // sharded build to the very same serial path, so measuring it separately
+    // would only report scheduler noise as a phantom delta (BENCH_7's 4.01
+    // vs 3.90 ms). Reuse the serial measurement in that case; the sharded
+    // code path stays covered by `tests/parallel_equivalence.rs`, which pins
+    // explicit worker counts.
+    let sharded_wall = if default_threads() <= 1 {
+        serial_wall
+    } else {
+        let parallel = build(default_threads());
+        let check = parallel.run(&iacts, &weights).expect("parallel run");
+        assert_eq!(golden.oacts, check.oacts, "parallel run diverged");
+        assert_eq!(golden.report, check.report, "parallel report diverged");
+        median_ms(iters, || {
+            parallel.run(&iacts, &weights).expect("parallel run");
+        })
+    };
     (
         Snapshot {
             name: "conv_16x16x14x14_n2/serial",
-            wall_ms: median_ms(iters, || {
-                serial.run(&iacts, &weights).expect("serial run");
-            }),
+            wall_ms: serial_wall,
             cycles,
             dram_bytes,
         },
         Snapshot {
             name: "conv_16x16x14x14_n2/sharded",
-            wall_ms: median_ms(iters, || {
-                parallel.run(&iacts, &weights).expect("parallel run");
-            }),
+            wall_ms: sharded_wall,
             cycles,
             dram_bytes,
         },
@@ -219,6 +229,8 @@ fn parallel_pair(iters: usize) -> (Snapshot, Snapshot) {
 /// One point of the throughput-vs-batch-size curve.
 struct ServingPoint {
     max_batch: usize,
+    /// Executor pool size the point ran with (`FEATHER_SERVE_WORKERS`).
+    workers: usize,
     requests: u64,
     throughput_rps: f64,
     p50_ms: f64,
@@ -267,12 +279,20 @@ fn serving_sweep(iters: usize) -> Vec<ServingPoint> {
     [1usize, 2, 4, 8]
         .iter()
         .map(|&max_batch| {
-            let server = Arc::new(Server::new(ServeConfig {
+            // `..from_env()` picks up FEATHER_SERVE_WORKERS (and
+            // ready_depth), so the CI smoke can exercise the executor pool
+            // without a separate sweep; the committed snapshot runs with the
+            // default single worker, keeping the curve comparable across
+            // PRs.
+            let cfg = ServeConfig {
                 max_batch,
                 queue_depth: 256,
                 batch_window: Duration::from_micros(800),
                 default_deadline: None,
-            }));
+                ..ServeConfig::from_env()
+            };
+            let workers = cfg.workers.max(1);
+            let server = Arc::new(Server::new(cfg));
             server
                 .register_model("resnet50", config, &graph, weights.clone())
                 .expect("serving model registers");
@@ -340,6 +360,7 @@ fn serving_sweep(iters: usize) -> Vec<ServingPoint> {
             );
             ServingPoint {
                 max_batch,
+                workers,
                 requests,
                 throughput_rps: requests as f64 / wall,
                 p50_ms: percentile(&latencies_ms, 0.50),
@@ -356,8 +377,10 @@ fn serving_sweep(iters: usize) -> Vec<ServingPoint> {
         .collect()
 }
 
-/// One point of the offered-rate-vs-achieved-throughput curve.
+/// One point of the offered-rate-vs-achieved-throughput surface.
 struct OpenLoopPoint {
+    workers: usize,
+    max_batch: usize,
     offered_rps: f64,
     achieved_rps: f64,
     p50_ms: f64,
@@ -365,6 +388,7 @@ struct OpenLoopPoint {
     completed: u64,
     rejected: u64,
     mean_batch: f64,
+    max_concurrent: u64,
 }
 
 /// Open-loop (arrival-rate driven) traffic generator: requests are submitted
@@ -372,9 +396,19 @@ struct OpenLoopPoint {
 /// closed loop the offered load keeps pressing when the server falls behind.
 /// Swept across offered rates, the curve exposes the saturation knee: below
 /// it achieved ≈ offered and latency is flat; past it the queue (bounded at
-/// `queue_depth`) fills, latency blows up and admission control sheds load.
+/// `queue_depth` per tenant) fills, latency blows up and admission control
+/// sheds load.
+///
+/// Since PR 8 the sweep is a `workers × max_batch` grid over the same rate
+/// schedule: `workers ∈ {1, 2, 4}` executor-pool sizes crossed with the
+/// batcher fully off (`max_batch = 1`) and fully on (`max_batch = 8`). The
+/// `workers = 1, max_batch = 8` rows reproduce the BENCH_7 configuration
+/// for cross-PR comparison; on a multi-core host the other rows show the
+/// saturation knee moving right as the pool widens.
 fn open_loop_sweep(iters: usize) -> Vec<OpenLoopPoint> {
     const RATES_RPS: [f64; 5] = [100.0, 200.0, 400.0, 800.0, 1600.0];
+    const WORKERS: [usize; 3] = [1, 2, 4];
+    const MAX_BATCH: [usize; 2] = [1, 8];
     const DISTINCT_IMAGES: usize = 8;
 
     let graph = resnet50_graph_scaled(16, 16);
@@ -385,65 +419,75 @@ fn open_loop_sweep(iters: usize) -> Vec<OpenLoopPoint> {
         .map(|i| Tensor4::random([1, c, h, w], 190 + i as u64))
         .collect();
 
-    RATES_RPS
-        .iter()
-        .map(|&rate| {
-            // ~0.4 s of offered load per point (ITERS=1); more iterations
-            // lengthen the window up to 2x for steadier estimates.
-            let requests = ((rate * 0.4) as usize).clamp(40, 640) * iters.clamp(1, 2);
-            let server = Server::new(ServeConfig {
-                max_batch: 8,
-                queue_depth: 256,
-                batch_window: Duration::from_micros(800),
-                default_deadline: None,
-            });
-            server
-                .register_model("resnet50", config, &graph, weights.clone())
-                .expect("serving model registers");
+    let mut points = Vec::new();
+    for &workers in &WORKERS {
+        for &max_batch in &MAX_BATCH {
+            for &rate in &RATES_RPS {
+                // ~0.4 s of offered load per point (ITERS=1); more
+                // iterations lengthen the window up to 2x for steadier
+                // estimates.
+                let requests = ((rate * 0.4) as usize).clamp(40, 640) * iters.clamp(1, 2);
+                let server = Server::new(ServeConfig {
+                    max_batch,
+                    queue_depth: 256,
+                    batch_window: Duration::from_micros(800),
+                    default_deadline: None,
+                    workers,
+                    ..ServeConfig::default()
+                });
+                server
+                    .register_model("resnet50", config, &graph, weights.clone())
+                    .expect("serving model registers");
 
-            let mut rng = ChaCha8Rng::seed_from_u64(rate as u64);
-            let start = Instant::now();
-            let mut next_arrival = Duration::ZERO;
-            let mut tickets = Vec::with_capacity(requests);
-            let mut rejected: u64 = 0;
-            for _ in 0..requests {
-                // Exponential inter-arrival times make the schedule a
-                // Poisson process; the schedule is absolute, so a slow
-                // server cannot push arrivals back (that is the open loop).
-                let u: f64 = rng.gen_range(1e-12..1.0);
-                next_arrival += Duration::from_secs_f64(-u.ln() / rate);
-                if let Some(sleep) = next_arrival.checked_sub(start.elapsed()) {
-                    std::thread::sleep(sleep);
+                let mut rng = ChaCha8Rng::seed_from_u64(rate as u64);
+                let start = Instant::now();
+                let mut next_arrival = Duration::ZERO;
+                let mut tickets = Vec::with_capacity(requests);
+                let mut rejected: u64 = 0;
+                for _ in 0..requests {
+                    // Exponential inter-arrival times make the schedule a
+                    // Poisson process; the schedule is absolute, so a slow
+                    // server cannot push arrivals back (that is the open
+                    // loop).
+                    let u: f64 = rng.gen_range(1e-12..1.0);
+                    next_arrival += Duration::from_secs_f64(-u.ln() / rate);
+                    if let Some(sleep) = next_arrival.checked_sub(start.elapsed()) {
+                        std::thread::sleep(sleep);
+                    }
+                    let img = rng.gen_range(0..images.len());
+                    match server.submit("open-loop", "resnet50", images[img].clone()) {
+                        Ok(ticket) => tickets.push(ticket),
+                        Err(_) => rejected += 1, // admission control shed it
+                    }
                 }
-                let img = rng.gen_range(0..images.len());
-                match server.submit("open-loop", "resnet50", images[img].clone()) {
-                    Ok(ticket) => tickets.push(ticket),
-                    Err(_) => rejected += 1, // admission control shed it
-                }
+                // Drain: every admitted request still resolves.
+                let mut latencies_ms: Vec<f64> = tickets
+                    .into_iter()
+                    .map(|t| t.wait().expect("admitted request completes").latency_us as f64 / 1e3)
+                    .collect();
+                let wall = start.elapsed().as_secs_f64();
+                let stats = server.stats();
+                latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+                points.push(OpenLoopPoint {
+                    workers,
+                    max_batch,
+                    offered_rps: rate,
+                    achieved_rps: latencies_ms.len() as f64 / wall,
+                    p50_ms: percentile(&latencies_ms, 0.50),
+                    p99_ms: percentile(&latencies_ms, 0.99),
+                    completed: stats.completed,
+                    rejected,
+                    mean_batch: stats.mean_batch(),
+                    max_concurrent: stats.max_concurrent_batches,
+                });
             }
-            // Drain: every admitted request still resolves.
-            let mut latencies_ms: Vec<f64> = tickets
-                .into_iter()
-                .map(|t| t.wait().expect("admitted request completes").latency_us as f64 / 1e3)
-                .collect();
-            let wall = start.elapsed().as_secs_f64();
-            let stats = server.stats();
-            latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-            OpenLoopPoint {
-                offered_rps: rate,
-                achieved_rps: latencies_ms.len() as f64 / wall,
-                p50_ms: percentile(&latencies_ms, 0.50),
-                p99_ms: percentile(&latencies_ms, 0.99),
-                completed: stats.completed,
-                rejected,
-                mean_batch: stats.mean_batch(),
-            }
-        })
-        .collect()
+        }
+    }
+    points
 }
 
 fn main() {
-    let mut pr: u32 = 7;
+    let mut pr: u32 = 8;
     let mut out_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -499,11 +543,13 @@ fn main() {
     json.push_str("  \"serving\": [\n");
     for (i, p) in serving.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"max_batch\": {}, \"requests\": {}, \"throughput_rps\": {:.1}, \
+            "    {{\"max_batch\": {}, \"workers\": {}, \"requests\": {}, \
+             \"throughput_rps\": {:.1}, \
              \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"executed_batches\": {}, \
              \"mean_batch\": {:.2}, \"rejected\": {}, \"program_hits\": {}, \
              \"program_misses\": {}, \"artifact_hits\": {}, \"artifact_misses\": {}}}{}\n",
             p.max_batch,
+            p.workers,
             p.requests,
             p.throughput_rps,
             p.p50_ms,
@@ -522,8 +568,12 @@ fn main() {
     json.push_str("  \"serving_open_loop\": [\n");
     for (i, p) in open_loop.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"offered_rps\": {:.0}, \"achieved_rps\": {:.1}, \"p50_ms\": {:.3}, \
-             \"p99_ms\": {:.3}, \"completed\": {}, \"rejected\": {}, \"mean_batch\": {:.2}}}{}\n",
+            "    {{\"workers\": {}, \"max_batch\": {}, \"offered_rps\": {:.0}, \
+             \"achieved_rps\": {:.1}, \"p50_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"completed\": {}, \"rejected\": {}, \
+             \"mean_batch\": {:.2}, \"max_concurrent_batches\": {}}}{}\n",
+            p.workers,
+            p.max_batch,
             p.offered_rps,
             p.achieved_rps,
             p.p50_ms,
@@ -531,6 +581,7 @@ fn main() {
             p.completed,
             p.rejected,
             p.mean_batch,
+            p.max_concurrent,
             if i + 1 < open_loop.len() { "," } else { "" }
         ));
     }
@@ -567,12 +618,22 @@ fn main() {
         );
     }
     println!(
-        "\n{:<12} {:>12} {:>10} {:>10} {:>10} {:>9} {:>11}",
-        "offered rps", "achieved", "p50 ms", "p99 ms", "completed", "shed", "mean batch"
+        "\n{:>7} {:>9} {:<12} {:>12} {:>10} {:>10} {:>10} {:>9} {:>11}",
+        "workers",
+        "max_batch",
+        "offered rps",
+        "achieved",
+        "p50 ms",
+        "p99 ms",
+        "completed",
+        "shed",
+        "mean batch"
     );
     for p in &open_loop {
         println!(
-            "{:<12.0} {:>12.1} {:>10.3} {:>10.3} {:>10} {:>9} {:>11.2}",
+            "{:>7} {:>9} {:<12.0} {:>12.1} {:>10.3} {:>10.3} {:>10} {:>9} {:>11.2}",
+            p.workers,
+            p.max_batch,
             p.offered_rps,
             p.achieved_rps,
             p.p50_ms,

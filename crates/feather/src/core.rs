@@ -609,12 +609,7 @@ pub(crate) fn run_conv_core(
     threads: Option<usize>,
 ) -> Result<CoreRun, ArchError> {
     let units_total = ctx.units();
-    let requested = match threads {
-        Some(n) => n.max(1),
-        None if reference_macs(&ctx.layer) >= AUTO_PARALLEL_MIN_MACS => default_threads(),
-        None => 1,
-    };
-    let workers = requested.min(units_total);
+    let workers = effective_workers(threads, &ctx.layer, units_total);
 
     let spans = match routes {
         RouteExecution::Collect(cache, recorder) => {
@@ -674,6 +669,32 @@ pub(crate) fn run_conv_core(
         run.cycles += timing.tile(ctx.rs, fires, ctx.rs, first_tile).total();
     }
     Ok(run)
+}
+
+/// Resolves the worker count a layer pass actually shards across — the
+/// single place the serial-vs-sharded decision is made:
+///
+/// * An explicit request (`Some(n)`) is honored but clamped to the number of
+///   work units; `Some(1)` forces the serial path.
+/// * The auto path (`None`) uses [`default_threads`] only for layers with
+///   enough work ([`AUTO_PARALLEL_MIN_MACS`]); below that it stays serial.
+///
+/// Whenever this resolves to 1 — including an explicit `Some(8)` on a layer
+/// with a single `(weight-tile, batch)` unit, or the auto path on a
+/// single-thread host where [`default_threads`] is 1 — the dispatcher runs
+/// the plain serial span and never pays fork/absorb overhead for workers
+/// that cannot help.
+pub(crate) fn effective_workers(
+    threads: Option<usize>,
+    layer: &ConvLayer,
+    units_total: usize,
+) -> usize {
+    let requested = match threads {
+        Some(n) => n.max(1),
+        None if reference_macs(layer) >= AUTO_PARALLEL_MIN_MACS => default_threads(),
+        None => 1,
+    };
+    requested.min(units_total)
 }
 
 /// MACs of the reference kernel for this layer — the work estimate behind the
@@ -1110,6 +1131,33 @@ mod tests {
         assert_eq!(default_threads(), available_threads());
         std::env::remove_var("FEATHER_THREADS");
         assert_eq!(default_threads(), available_threads());
+    }
+
+    #[test]
+    fn effective_workers_falls_back_to_serial() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        // Big enough to clear AUTO_PARALLEL_MIN_MACS; tiny layers stay serial.
+        let big = ConvLayer::new(2, 16, 16, 14, 14, 3, 3).with_padding(1);
+        let small = ConvLayer::new(1, 2, 2, 4, 4, 1, 1);
+        assert!(reference_macs(&big) >= AUTO_PARALLEL_MIN_MACS);
+        assert!(reference_macs(&small) < AUTO_PARALLEL_MIN_MACS);
+
+        // Explicit requests clamp to the unit count: asking for 8 workers on
+        // one work unit resolves to the serial path, not a 1-worker shard.
+        assert_eq!(effective_workers(Some(8), &big, 1), 1);
+        assert_eq!(effective_workers(Some(8), &big, 3), 3);
+        assert_eq!(effective_workers(Some(1), &big, 64), 1);
+        assert_eq!(effective_workers(Some(0), &big, 64), 1);
+
+        // Auto path: a single-thread host (FEATHER_THREADS=1) resolves to
+        // serial regardless of how much work the layer has...
+        std::env::set_var("FEATHER_THREADS", "1");
+        assert_eq!(effective_workers(None, &big, 64), 1);
+        // ...a parallel host shards big layers but never small ones.
+        std::env::set_var("FEATHER_THREADS", "4");
+        assert_eq!(effective_workers(None, &big, 64), 4);
+        assert_eq!(effective_workers(None, &small, 64), 1);
+        std::env::remove_var("FEATHER_THREADS");
     }
 
     /// A one-group request reducing lanes `0..lanes` into `bank`.

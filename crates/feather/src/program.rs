@@ -527,6 +527,46 @@ impl Program {
     }
 }
 
+/// Reusable replay allocations: the per-segment StaB ping/pong pairs a
+/// [`ProgramSession::run_with_scratch`] call parks between runs instead of
+/// reallocating. One scratch belongs to one executor thread at a time (it is
+/// `&mut` for the whole run) and adapts automatically when handed a
+/// different program — the parked buffers are reshaped to the new program's
+/// specs, so a worker serving many (model, batch) pairs can keep one scratch
+/// per pair or share fewer and only pay a reshape.
+///
+/// Replaying through a reused scratch is bit-identical to replaying through
+/// a fresh one (outputs *and* the full report) — buffers are re-provisioned
+/// with [`PingPong::reset`] at every segment stage.
+#[derive(Debug, Default)]
+pub struct ReplayScratch {
+    /// `(fingerprint, batch)` of the program the stash was last used with;
+    /// a mismatch drops the stash so one scratch never hoards buffers shaped
+    /// for a program it no longer serves.
+    shaped_for: Option<(u64, usize)>,
+    /// One parked StaB pair per program segment.
+    stabs: Vec<Option<PingPong<i32>>>,
+}
+
+impl ReplayScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        ReplayScratch::default()
+    }
+
+    /// Re-targets the stash at `program`, dropping buffers from any other.
+    fn retarget(&mut self, program: &Program) {
+        let key = (program.fingerprint, program.batch);
+        if self.shaped_for != Some(key) {
+            self.shaped_for = Some(key);
+            self.stabs.clear();
+        }
+        if self.stabs.len() != program.segments.len() {
+            self.stabs.resize_with(program.segments.len(), || None);
+        }
+    }
+}
+
 /// The graph-DAG replay executor: dispatches a compiled [`Program`]'s op
 /// stream linearly. Cheap to clone (the program is shared through an `Arc`);
 /// safe to use from multiple threads via `&self`.
@@ -574,7 +614,26 @@ impl ProgramSession {
         iacts: &Tensor4<i8>,
         weights: &BTreeMap<NodeId, Tensor4<i8>>,
     ) -> Result<GraphRun, ArchError> {
+        self.run_with_scratch(&mut ReplayScratch::new(), iacts, weights)
+    }
+
+    /// [`ProgramSession::run`] reusing `scratch`'s buffer allocations across
+    /// calls: each segment's StaB ping/pong pair is parked in the scratch at
+    /// drain time and re-provisioned (reshaped + cleared, no reallocation) at
+    /// the next stage, so a serving executor's steady state allocates no
+    /// buffer memory per request. Results are bit-identical to
+    /// [`ProgramSession::run`] with a fresh scratch.
+    ///
+    /// # Errors
+    /// Returns an error on missing weights or operand shape mismatches.
+    pub fn run_with_scratch(
+        &self,
+        scratch_bufs: &mut ReplayScratch,
+        iacts: &Tensor4<i8>,
+        weights: &BTreeMap<NodeId, Tensor4<i8>>,
+    ) -> Result<GraphRun, ArchError> {
         let p = &*self.program;
+        scratch_bufs.retarget(p);
         if iacts.shape() != p.input_shape {
             return Err(ArchError::ShapeMismatch(format!(
                 "graph input shape {:?}, expected {:?}",
@@ -656,7 +715,13 @@ impl ProgramSession {
                             expected
                         )));
                     }
-                    let mut pp: PingPong<i32> = PingPong::new(first.iact_spec);
+                    let mut pp: PingPong<i32> = match scratch_bufs.stabs[seg].take() {
+                        Some(mut parked) => {
+                            parked.reset(first.iact_spec);
+                            parked
+                        }
+                        None => PingPong::new(first.iact_spec),
+                    };
                     {
                         let (active, _) = pp.split_mut();
                         let mut view =
@@ -758,6 +823,7 @@ impl ProgramSession {
                         layers: std::mem::take(&mut summaries),
                         stab_swaps: pp.swaps(),
                     };
+                    scratch_bufs.stabs[seg] = Some(pp);
                     adjust_report(&mut report, cs, &p.energy_model);
                     segment_reports.push(SegmentSummary {
                         nodes: cs.names.clone(),
@@ -1734,6 +1800,48 @@ mod tests {
         assert_eq!(second.report, interpreted.report);
         assert_eq!(sharded.oacts, interpreted.oacts);
         assert_eq!(sharded.report, interpreted.report);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_and_retargets_across_programs() {
+        let g = residual_graph();
+        let session = GraphSession::auto(FeatherConfig::new(4, 8), &g).unwrap();
+        let weights = g.random_weights(42);
+        let replay = ProgramSession::new(session.compile().unwrap());
+        let batched = ProgramSession::new(session.with_batch(2).unwrap().compile().unwrap());
+
+        let mut scratch = ReplayScratch::new();
+        for seed in 0..3u64 {
+            // Different inputs through one reused scratch: each run must
+            // match a fresh-scratch run exactly (outputs and full report),
+            // i.e. no state may leak between requests.
+            let iacts = Tensor4::random([1, 4, 6, 6], 50 + seed);
+            let fresh = replay.run(&iacts, &weights).unwrap();
+            let reused = replay
+                .run_with_scratch(&mut scratch, &iacts, &weights)
+                .unwrap();
+            assert_eq!(reused.oacts, fresh.oacts, "seed {seed} outputs diverged");
+            assert_eq!(reused.report, fresh.report, "seed {seed} report diverged");
+        }
+
+        // Handing the same scratch a different program (the batch-2 variant)
+        // retargets the stash instead of corrupting the run.
+        let iacts2 = Tensor4::random([2, 4, 6, 6], 60);
+        let fresh2 = batched.run(&iacts2, &weights).unwrap();
+        let reused2 = batched
+            .run_with_scratch(&mut scratch, &iacts2, &weights)
+            .unwrap();
+        assert_eq!(reused2.oacts, fresh2.oacts);
+        assert_eq!(reused2.report, fresh2.report);
+
+        // And back again, still exact.
+        let iacts3 = Tensor4::random([1, 4, 6, 6], 70);
+        let fresh3 = replay.run(&iacts3, &weights).unwrap();
+        let reused3 = replay
+            .run_with_scratch(&mut scratch, &iacts3, &weights)
+            .unwrap();
+        assert_eq!(reused3.oacts, fresh3.oacts);
+        assert_eq!(reused3.report, fresh3.report);
     }
 
     #[test]

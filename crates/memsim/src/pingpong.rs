@@ -114,6 +114,22 @@ impl<T: Copy> PingPong<T> {
         self.shadow().clear();
     }
 
+    /// Re-provisions the pair for a new tenant, reusing the allocations:
+    /// both halves are [`FunctionalBuffer::reshape`]d to `spec` (data
+    /// discarded, statistics kept — consumers measure deltas), the ping half
+    /// becomes active again and the swap counter restarts. After a reset the
+    /// pair is observationally identical to `PingPong::new(spec)` except for
+    /// the accumulated absolute statistics, which delta-based accounting
+    /// (`AccessStats::since`) never sees. This is what lets a replay executor
+    /// keep one StaB allocation alive across requests instead of
+    /// reallocating per run.
+    pub fn reset(&mut self, spec: BufferSpec) {
+        self.ping.reshape(spec);
+        self.pong.reshape(spec);
+        self.active = Half::Ping;
+        self.swaps = 0;
+    }
+
     /// Combined statistics of both halves.
     pub fn stats(&self) -> AccessStats {
         let mut s = *self.ping.stats();
@@ -171,6 +187,26 @@ mod tests {
         pp.clear_shadow();
         assert_eq!(pp.active_ref().peek(0, 0), Some(1));
         assert_eq!(pp.shadow_ref().peek(0, 0), None);
+    }
+
+    #[test]
+    fn reset_behaves_like_new_except_stats() {
+        let mut pp = PingPong::<i32>::new(spec());
+        pp.active().write(0, 0, 7);
+        pp.shadow().write(1, 0, 9);
+        pp.swap();
+        pp.swap();
+        let writes_before = pp.stats().element_writes;
+        let new_spec = BufferSpec::new(16, 2, 2, Banking::Horizontal);
+        pp.reset(new_spec);
+        // Fresh-pair observables: ping active, zero swaps, no data.
+        assert_eq!(pp.active_half(), Half::Ping);
+        assert_eq!(pp.swaps(), 0);
+        assert_eq!(pp.active_ref().occupancy(), 0);
+        assert_eq!(pp.shadow_ref().occupancy(), 0);
+        assert_eq!(pp.active_ref().spec().num_lines, 16);
+        // Statistics survive the reset (delta accounting handles them).
+        assert_eq!(pp.stats().element_writes, writes_before);
     }
 
     #[test]

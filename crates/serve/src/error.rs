@@ -8,14 +8,17 @@ use feather_arch::ArchError;
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ServeError {
-    /// Admission control refused the request: the queue already holds
-    /// `depth` requests.
+    /// Admission control refused the request: the submitting tenant's queue
+    /// already holds `depth` requests.
     QueueFull {
-        /// The configured queue depth the request bounced off.
+        /// The configured per-tenant queue depth the request bounced off.
         depth: usize,
     },
     /// The request's deadline expired while it was still queued.
     Timeout,
+    /// The request was cancelled (explicitly via `Ticket::cancel`, or by
+    /// dropping its `Ticket`) before an executor picked it up.
+    Cancelled,
     /// The server is shutting down (or has shut down) and no longer accepts
     /// requests.
     Shutdown,
@@ -34,6 +37,7 @@ impl fmt::Display for ServeError {
                 write!(f, "request rejected: queue is at capacity ({depth})")
             }
             ServeError::Timeout => write!(f, "request timed out before being scheduled"),
+            ServeError::Cancelled => write!(f, "request was cancelled before execution"),
             ServeError::Shutdown => write!(f, "server is shut down"),
             ServeError::UnknownModel(name) => write!(f, "no model registered as `{name}`"),
             ServeError::BadInput(msg) => write!(f, "bad input: {msg}"),
@@ -66,6 +70,7 @@ mod tests {
         let errors = [
             ServeError::QueueFull { depth: 4 },
             ServeError::Timeout,
+            ServeError::Cancelled,
             ServeError::Shutdown,
             ServeError::UnknownModel("resnet".into()),
             ServeError::BadInput("shape".into()),

@@ -5,31 +5,47 @@
 //! "what happens when many tenants submit single-sample requests
 //! concurrently". It provides:
 //!
-//! - **Admission control** — a bounded request queue
-//!   ([`ServeConfig::queue_depth`]); submissions beyond it are rejected
-//!   immediately with [`ServeError::QueueFull`], and queued requests can
-//!   carry deadlines that expire into [`ServeError::Timeout`].
-//! - **Dynamic batching** — a scheduler thread coalesces concurrent
-//!   same-model requests (up to [`ServeConfig::max_batch`], waiting at most
-//!   [`ServeConfig::batch_window`]) into one multi-batch executor run, then
-//!   splits the outputs back per request. Batch-`N` execution is
-//!   bit-identical to `N` solo runs, so coalescing is unobservable in the
-//!   results.
+//! - **Weighted-fair admission** — each tenant gets its own bounded queue
+//!   ([`ServeConfig::queue_depth`]); submissions beyond a tenant's bound are
+//!   rejected with [`ServeError::QueueFull`] without touching anyone else's
+//!   capacity. A deficit-round-robin pass over the backlogged tenants
+//!   decides which one each batch serves: a tenant earns its weight
+//!   ([`Server::set_tenant_weight`], default 1) per batch formed and pays
+//!   one per admitted request, so sustained-contention batch shares are
+//!   proportional to weights and a flooding tenant cannot starve a light
+//!   one.
+//! - **Dynamic batching on an executor pool** — a batch-former thread
+//!   coalesces concurrent same-model requests (up to
+//!   [`ServeConfig::max_batch`], waiting at most
+//!   [`ServeConfig::batch_window`]) and hands formed batches to
+//!   [`ServeConfig::workers`] executor workers over a bounded ready queue;
+//!   different batches replay concurrently. Batch-`N` execution is
+//!   bit-identical to `N` solo runs, so neither coalescing nor the worker
+//!   that ran a request is observable in the results.
+//! - **Cancellation** — dropping a [`Ticket`] (or calling
+//!   [`Ticket::cancel`]) flags the request; the former and the executor
+//!   boundary prune flagged or deadline-expired requests into
+//!   [`ServeError::Cancelled`]/[`ServeError::Timeout`] before they ever
+//!   run.
 //! - **Compiled-program replay** — the first request at a (model, batch)
 //!   compiles the planned [`feather::GraphSession`] into a flat
 //!   [`feather::Program`] (checking the `FEATHER_CACHE_DIR` artifact cache
 //!   first); every later request replays the resident
 //!   [`feather::ProgramSession`] with zero planning or per-layer dispatch
-//!   work. [`ProgramCacheStats`] exposes the hit/miss/evict counters.
+//!   work. [`ProgramCacheStats`] exposes the hit/miss/evict counters, and
+//!   each worker reuses a [`feather::ReplayScratch`] per (model, batch) so
+//!   steady-state replay allocates no buffer memory either.
 //! - **Per-tenant accounting** — [`ServerStats`]/[`TenantStats`] aggregate
 //!   latency plus the modeled cycle and DRAM-byte totals of each batch,
-//!   divided across its requests.
+//!   divided across its requests. Counters are sharded per worker and
+//!   merged on [`Server::stats`]; `max_concurrent_batches` is the
+//!   observable proof of executor overlap.
 //!
 //! There is no async runtime in this workspace (the vendored shims are
-//! trait-surface only), so the concurrency is hand-rolled std: a scheduler
-//! thread, condvar-backed [`Ticket`]s that both block ([`Ticket::wait`])
-//! and implement [`Future`](std::future::Future), and a park/unpark
-//! [`block_on`] executor.
+//! trait-surface only), so the concurrency is hand-rolled std: a former
+//! thread plus worker threads, condvar-backed [`Ticket`]s that both block
+//! ([`Ticket::wait`]) and implement [`Future`](std::future::Future), and a
+//! park/unpark [`block_on`] executor.
 //!
 //! # Example
 //!

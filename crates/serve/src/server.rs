@@ -1,20 +1,35 @@
-//! The serving core: bounded admission queue, dynamic-batching scheduler,
-//! per-tenant accounting.
+//! The serving core: weighted-fair admission, a batch-forming scheduler,
+//! and a pool of executor workers.
 //!
-//! One background scheduler thread owns execution. It pops the
-//! oldest queued request, waits up to [`ServeConfig::batch_window`] for more
-//! requests to the same model (up to [`ServeConfig::max_batch`]), coalesces
-//! them into one batched run, and splits the batch output back into
-//! per-request responses. Because batch-`N` execution is bit-identical to
-//! `N` solo runs (the `with_batch` equivalence contract), a tenant cannot
-//! observe whether its request was coalesced.
+//! Two kinds of threads share the work. One lightweight **batch former**
+//! owns the admission queues: it runs a deficit-round-robin pass over the
+//! backlogged tenants (each earns its configured weight per batch formed,
+//! pays one unit per admitted request), picks the richest tenant's oldest
+//! request to choose the model, holds the batch open up to
+//! [`ServeConfig::batch_window`] for more same-model requests (up to
+//! [`ServeConfig::max_batch`], filled across tenants in deficit order), and
+//! hands the formed batch to a bounded ready queue. **Executor workers**
+//! ([`ServeConfig::workers`] of them) pop ready batches and replay them
+//! concurrently — different models, or different batches of one model, can
+//! be in flight at once. Because batch-`N` execution is bit-identical to
+//! `N` solo runs (the `with_batch` equivalence contract), a tenant can
+//! observe neither coalescing nor which worker ran its request.
+//!
+//! Admission is bounded **per tenant** ([`ServeConfig::queue_depth`]), so a
+//! flooding tenant exhausts only its own quota. Requests leave the queue
+//! early in two ways: a deadline expiring into [`ServeError::Timeout`], or
+//! cancellation ([`crate::Ticket::cancel`], or simply dropping the ticket)
+//! into [`ServeError::Cancelled`] — both are pruned by the former or at the
+//! executor boundary, never run, and are counted in [`ServerStats`].
 //!
 //! The hot path replays compiled programs: the first request at a given
 //! (model, batch) compiles the planned [`GraphSession`] into a
 //! [`feather::Program`] (consulting the `FEATHER_CACHE_DIR` artifact cache
 //! first), and every later request replays the cached [`ProgramSession`]
 //! with zero planning, hashing or per-layer dispatch work —
-//! [`ProgramCacheStats`] counts exactly that.
+//! [`ProgramCacheStats`] counts exactly that. Each worker additionally
+//! keeps a [`ReplayScratch`] per (model, batch) it has served, so
+//! steady-state replay allocates no buffer memory either.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -22,7 +37,9 @@ use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use feather::{ArtifactStatus, FeatherConfig, GraphSession, ProgramSession, RouteCacheStats};
+use feather::{
+    ArtifactStatus, FeatherConfig, GraphSession, ProgramSession, ReplayScratch, RouteCacheStats,
+};
 use feather_arch::graph::{Graph, NodeId};
 use feather_arch::tensor::Tensor4;
 
@@ -35,16 +52,29 @@ use crate::ticket::{Promise, Ticket};
 pub struct ServeConfig {
     /// Most requests coalesced into one executor run. `1` disables batching.
     pub max_batch: usize,
-    /// Admission bound: submissions beyond this many queued requests are
-    /// rejected with [`ServeError::QueueFull`].
+    /// Per-tenant admission bound: a tenant with this many queued requests
+    /// gets further submissions rejected with [`ServeError::QueueFull`].
+    /// Other tenants' queues are unaffected.
     pub queue_depth: usize,
-    /// How long the scheduler holds a non-full batch open waiting for more
+    /// How long the former holds a non-full batch open waiting for more
     /// same-model requests. Zero launches whatever is queued immediately.
     pub batch_window: Duration,
     /// Deadline applied to every request without an explicit one: requests
     /// still queued past it are dropped with [`ServeError::Timeout`].
     /// `None` means requests wait indefinitely.
     pub default_deadline: Option<Duration>,
+    /// Executor pool size: how many formed batches can execute
+    /// concurrently. `1` reproduces the old single-scheduler behavior.
+    pub workers: usize,
+    /// Formed batches buffered between the former and the pool. The former
+    /// does not form a batch until a slot is free, so this bounds how far
+    /// scheduling runs ahead of execution: `1` (the default) forms each
+    /// batch at the moment a worker can take it — from the fullest possible
+    /// backlog, with fairness and cancellation decided as late as possible.
+    /// Workers pop instantly when idle, so depth 1 never limits pool
+    /// overlap; raise it only to hide the former's batch-window latency
+    /// between executions.
+    pub ready_depth: usize,
 }
 
 impl Default for ServeConfig {
@@ -54,15 +84,18 @@ impl Default for ServeConfig {
             queue_depth: 64,
             batch_window: Duration::from_micros(500),
             default_deadline: None,
+            workers: 1,
+            ready_depth: 1,
         }
     }
 }
 
 impl ServeConfig {
     /// Reads the knobs from the environment on top of the defaults:
-    /// `FEATHER_SERVE_MAX_BATCH`, `FEATHER_SERVE_QUEUE_DEPTH` and
-    /// `FEATHER_SERVE_WINDOW_US` (batch window in microseconds). Unset or
-    /// unparsable variables keep their default.
+    /// `FEATHER_SERVE_MAX_BATCH`, `FEATHER_SERVE_QUEUE_DEPTH`,
+    /// `FEATHER_SERVE_WINDOW_US` (batch window in microseconds) and
+    /// `FEATHER_SERVE_WORKERS` (executor pool size). Unset or unparsable
+    /// variables keep their default.
     pub fn from_env() -> Self {
         fn read(name: &str) -> Option<usize> {
             std::env::var(name).ok()?.trim().parse().ok()
@@ -77,6 +110,9 @@ impl ServeConfig {
         if let Some(us) = read("FEATHER_SERVE_WINDOW_US") {
             cfg.batch_window = Duration::from_micros(us as u64);
         }
+        if let Some(n) = read("FEATHER_SERVE_WORKERS") {
+            cfg.workers = n.max(1);
+        }
         cfg
     }
 }
@@ -89,6 +125,8 @@ pub struct Response {
     pub oacts: Tensor4<i32>,
     /// How many requests shared the executor run that produced this.
     pub batch_size: usize,
+    /// Index of the pool worker that executed the batch.
+    pub worker: usize,
     /// Time spent queued before the batch launched, in microseconds.
     pub queue_us: u64,
     /// End-to-end latency (submit → response), in microseconds.
@@ -104,6 +142,11 @@ pub struct Response {
 /// `max_batch` of 8 every batch size fits; a bigger knob evicts in FIFO
 /// (oldest-compiled-first) order.
 const PROGRAM_CACHE_CAPACITY: usize = 16;
+
+/// Most (model, batch) replay scratches one executor worker parks before it
+/// drops them all and regrows — a backstop against unbounded buffer stash
+/// growth when a server cycles through many models and batch sizes.
+const SCRATCH_CAPACITY: usize = 32;
 
 /// One model's resident compiled programs plus the counters that prove the
 /// hot path replays instead of replanning.
@@ -163,6 +206,8 @@ impl Model {
 
 /// One queued request.
 struct Request {
+    /// Admission sequence number — orders requests within a formed batch.
+    id: u64,
     tenant: String,
     model: String,
     iacts: Tensor4<i8>,
@@ -171,20 +216,80 @@ struct Request {
     promise: Arc<Promise>,
 }
 
-/// The admission queue plus the open/closed flag, under one lock.
-struct QueueState {
+impl Request {
+    /// A request the scheduler must drop instead of running: its ticket was
+    /// cancelled (or abandoned), or its deadline has passed.
+    fn dead_at(&self, now: Instant) -> bool {
+        self.promise.is_cancelled() || self.deadline.is_some_and(|d| d <= now)
+    }
+}
+
+/// One tenant's pending requests plus its deficit-round-robin balance.
+#[derive(Default)]
+struct TenantQueue {
     requests: VecDeque<Request>,
+    /// Deficit counter: earns the tenant's weight per batch formed while
+    /// backlogged, pays one per request admitted into a batch. Forgiven
+    /// (entry dropped) when the tenant's queue drains — idle tenants don't
+    /// bank credit.
+    deficit: i64,
+}
+
+/// The per-tenant admission queues plus the open/closed flag, under one lock.
+struct QueueState {
+    tenants: BTreeMap<String, TenantQueue>,
     open: bool,
 }
 
-/// State shared between the front-end handles and the scheduler thread.
+impl QueueState {
+    fn backlogged(&self) -> bool {
+        self.tenants.values().any(|tq| !tq.requests.is_empty())
+    }
+}
+
+/// A formed batch travelling from the former to an executor worker.
+struct ReadyBatch {
+    model: String,
+    requests: Vec<Request>,
+}
+
+/// The bounded hand-off queue between the former and the executor pool.
+struct ReadyState {
+    batches: VecDeque<ReadyBatch>,
+    /// Set by the former after it drained admission; workers exit once the
+    /// queue is empty and closed.
+    closed: bool,
+}
+
+/// State shared between the front-end handles, the former, and the workers.
 struct Inner {
     cfg: ServeConfig,
     models: RwLock<BTreeMap<String, Arc<Model>>>,
     queue: Mutex<QueueState>,
     /// Signaled on every admission and on shutdown.
     arrived: Condvar,
+    /// Per-tenant weights for the deficit round-robin (default 1).
+    weights: RwLock<BTreeMap<String, u64>>,
+    ready: Mutex<ReadyState>,
+    /// Signaled when a batch lands in the ready queue (and at close).
+    ready_pop: Condvar,
+    /// Signaled when a worker frees a ready-queue slot.
+    ready_push: Condvar,
+    /// Admission-side counters: rejects plus former-pruned timeouts and
+    /// cancellations. Executor-side counters live in `worker_stats`.
     stats: Mutex<ServerStats>,
+    /// One counter shard per executor worker — the hot path never contends
+    /// on a global stats lock.
+    worker_stats: Vec<Mutex<ServerStats>>,
+    /// Batches currently inside a `ProgramSession` run, and the high-water
+    /// mark thereof — the observable proof of executor overlap.
+    executing: AtomicU64,
+    max_executing: AtomicU64,
+    /// Workers currently parked on an empty ready queue. The former reads
+    /// this to decide whether launching a non-full batch past its window
+    /// buys any latency: while every worker is busy it keeps the batch
+    /// open instead (see [`form_batch`]).
+    idle_workers: AtomicU64,
     next_id: AtomicU64,
 }
 
@@ -192,41 +297,70 @@ struct Inner {
 /// model; see [`ServeConfig`] for the knobs.
 ///
 /// Dropping the server shuts it down gracefully: admission closes, the
-/// scheduler drains every queued request, then the thread joins.
+/// former drains every queued request, the pool drains every formed batch,
+/// then all threads join.
 pub struct Server {
     inner: Arc<Inner>,
-    scheduler: Option<JoinHandle<()>>,
+    former: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Starts a server and its scheduler thread. Models bring their own
-    /// accelerator configuration at [`Server::register_model`] time.
+    /// Starts a server, its batch-former thread, and its executor pool.
+    /// Models bring their own accelerator configuration at
+    /// [`Server::register_model`] time.
     pub fn new(cfg: ServeConfig) -> Self {
+        let cfg = ServeConfig {
+            max_batch: cfg.max_batch.max(1),
+            queue_depth: cfg.queue_depth.max(1),
+            workers: cfg.workers.max(1),
+            ready_depth: cfg.ready_depth.max(1),
+            ..cfg
+        };
         let inner = Arc::new(Inner {
-            cfg: ServeConfig {
-                max_batch: cfg.max_batch.max(1),
-                queue_depth: cfg.queue_depth.max(1),
-                ..cfg
-            },
+            cfg,
             models: RwLock::new(BTreeMap::new()),
             queue: Mutex::new(QueueState {
-                requests: VecDeque::new(),
+                tenants: BTreeMap::new(),
                 open: true,
             }),
             arrived: Condvar::new(),
+            weights: RwLock::new(BTreeMap::new()),
+            ready: Mutex::new(ReadyState {
+                batches: VecDeque::new(),
+                closed: false,
+            }),
+            ready_pop: Condvar::new(),
+            ready_push: Condvar::new(),
             stats: Mutex::new(ServerStats::default()),
+            worker_stats: (0..cfg.workers)
+                .map(|_| Mutex::new(ServerStats::default()))
+                .collect(),
+            executing: AtomicU64::new(0),
+            max_executing: AtomicU64::new(0),
+            idle_workers: AtomicU64::new(0),
             next_id: AtomicU64::new(0),
         });
-        let scheduler = {
+        let former = {
             let inner = inner.clone();
             std::thread::Builder::new()
-                .name("feather-serve-scheduler".to_string())
-                .spawn(move || run_scheduler(&inner))
-                .expect("scheduler thread spawns")
+                .name("feather-serve-former".to_string())
+                .spawn(move || run_former(&inner))
+                .expect("former thread spawns")
         };
+        let workers = (0..cfg.workers)
+            .map(|worker| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("feather-serve-worker-{worker}"))
+                    .spawn(move || run_worker(&inner, worker))
+                    .expect("worker thread spawns")
+            })
+            .collect();
         Server {
             inner,
-            scheduler: Some(scheduler),
+            former: Some(former),
+            workers,
         }
     }
 
@@ -273,14 +407,27 @@ impl Server {
         Ok(())
     }
 
+    /// Sets `tenant`'s weight for the deficit-round-robin admission pass
+    /// (clamped to at least 1; every tenant defaults to 1). A tenant with
+    /// weight `w` earns `w` credits per batch formed while backlogged and
+    /// pays one per admitted request, so sustained-contention batch shares
+    /// are proportional to weights.
+    pub fn set_tenant_weight(&self, tenant: impl Into<String>, weight: u64) {
+        self.inner
+            .weights
+            .write()
+            .expect("weights lock poisoned")
+            .insert(tenant.into(), weight.max(1));
+    }
+
     /// Submits a single-sample request for `model` on behalf of `tenant`,
     /// using the configured default deadline. Returns a [`Ticket`] to wait
-    /// on (or `await`).
+    /// on (or `await`); dropping the ticket cancels the request.
     ///
     /// # Errors
     /// [`ServeError::UnknownModel`], [`ServeError::BadInput`] on a shape
-    /// mismatch, [`ServeError::QueueFull`] when admission control bounces
-    /// the request, or [`ServeError::Shutdown`].
+    /// mismatch, [`ServeError::QueueFull`] when the tenant's queue is at
+    /// capacity, or [`ServeError::Shutdown`].
     pub fn submit(
         &self,
         tenant: &str,
@@ -329,19 +476,36 @@ impl Server {
             if !queue.open {
                 return Err(ServeError::Shutdown);
             }
-            if queue.requests.len() >= self.inner.cfg.queue_depth {
-                let mut stats = self.inner.stats.lock().expect("stats lock poisoned");
-                stats.rejected += 1;
-                stats
+            let tq = queue.tenants.entry(tenant.to_string()).or_default();
+            if tq.requests.len() >= self.inner.cfg.queue_depth {
+                // Cancelled or expired requests still parked in the queue
+                // should not hold capacity against live ones: prune, then
+                // re-check before bouncing.
+                let dead = take_dead(tq, enqueued);
+                resolve_dead(&self.inner, dead);
+                let tq = queue
                     .tenants
-                    .entry(tenant.to_string())
-                    .or_default()
-                    .rejected += 1;
-                return Err(ServeError::QueueFull {
-                    depth: self.inner.cfg.queue_depth,
-                });
+                    .get_mut(tenant)
+                    .expect("tenant entry just touched");
+                if tq.requests.len() >= self.inner.cfg.queue_depth {
+                    let mut stats = self.inner.stats.lock().expect("stats lock poisoned");
+                    stats.rejected += 1;
+                    stats
+                        .tenants
+                        .entry(tenant.to_string())
+                        .or_default()
+                        .rejected += 1;
+                    return Err(ServeError::QueueFull {
+                        depth: self.inner.cfg.queue_depth,
+                    });
+                }
             }
-            queue.requests.push_back(Request {
+            let tq = queue
+                .tenants
+                .get_mut(tenant)
+                .expect("tenant entry just touched");
+            tq.requests.push_back(Request {
+                id: ticket.id(),
                 tenant: tenant.to_string(),
                 model: model.to_string(),
                 iacts,
@@ -354,13 +518,22 @@ impl Server {
         Ok(ticket)
     }
 
-    /// A snapshot of the per-tenant aggregates and the batch histogram.
+    /// A snapshot of the server's counters: the admission-side shard merged
+    /// with every executor worker's shard, plus the concurrency watermark.
     pub fn stats(&self) -> ServerStats {
-        self.inner
+        let mut stats = self
+            .inner
             .stats
             .lock()
             .expect("stats lock poisoned")
-            .clone()
+            .clone();
+        for shard in &self.inner.worker_stats {
+            stats.merge(&shard.lock().expect("worker stats lock poisoned"));
+        }
+        stats.max_concurrent_batches = stats
+            .max_concurrent_batches
+            .max(self.inner.max_executing.load(Ordering::Acquire));
+        stats
     }
 
     /// Counters of a registered model's shared compiled-route cache (all
@@ -392,16 +565,22 @@ impl Server {
         self.inner.cfg
     }
 
-    /// Closes admission, drains every queued request, and joins the
-    /// scheduler thread. Idempotent; also runs on drop.
+    /// Closes admission, drains every queued request and formed batch, and
+    /// joins the former and the executor pool. Idempotent; also runs on
+    /// drop.
     pub fn shutdown(&mut self) {
-        if let Some(handle) = self.scheduler.take() {
+        if let Some(former) = self.former.take() {
             {
                 let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
                 queue.open = false;
             }
             self.inner.arrived.notify_all();
-            handle.join().expect("scheduler thread panicked");
+            // The former drains admission, then closes the ready queue; the
+            // workers drain that and exit.
+            former.join().expect("former thread panicked");
+            for worker in self.workers.drain(..) {
+                worker.join().expect("executor worker panicked");
+            }
         }
     }
 }
@@ -412,32 +591,102 @@ impl Drop for Server {
     }
 }
 
-/// How long an idle scheduler sleeps between queue checks — a backstop for
-/// missed wakeups, not the signaling path.
+/// How long an idle thread sleeps between checks — a backstop for missed
+/// wakeups, not the signaling path.
 const IDLE_POLL: Duration = Duration::from_millis(5);
 
-/// The scheduler loop: drain batches until admission is closed *and* the
-/// queue is empty (shutdown still serves everything already admitted).
-fn run_scheduler(inner: &Inner) {
-    loop {
-        let Some(batch) = next_batch(inner) else {
-            return;
-        };
-        if !batch.is_empty() {
-            execute_batch(inner, batch);
+/// Removes `tq`'s cancelled/expired requests (front to back, preserving the
+/// order of survivors) and returns them for resolution.
+fn take_dead(tq: &mut TenantQueue, now: Instant) -> Vec<Request> {
+    let mut dead = Vec::new();
+    let mut kept = VecDeque::with_capacity(tq.requests.len());
+    while let Some(request) = tq.requests.pop_front() {
+        if request.dead_at(now) {
+            dead.push(request);
+        } else {
+            kept.push_back(request);
+        }
+    }
+    tq.requests = kept;
+    dead
+}
+
+/// Fulfils pruned requests and books them into the admission-side stats:
+/// cancellation wins over expiry when both apply.
+fn resolve_dead(inner: &Inner, dead: Vec<Request>) {
+    if dead.is_empty() {
+        return;
+    }
+    let mut stats = inner.stats.lock().expect("stats lock poisoned");
+    for request in dead {
+        let tenant = stats.tenants.entry(request.tenant.clone()).or_default();
+        if request.promise.is_cancelled() {
+            tenant.cancelled += 1;
+            stats.cancelled += 1;
+            request.promise.fulfill(Err(ServeError::Cancelled));
+        } else {
+            tenant.timed_out += 1;
+            stats.timed_out += 1;
+            request.promise.fulfill(Err(ServeError::Timeout));
         }
     }
 }
 
-/// Blocks until a batch is ready (or returns `None` at shutdown-and-drained).
-/// The returned batch holds 1..=max_batch same-model requests in admission
-/// order; expired requests are dropped (and resolved) along the way, so an
-/// empty vec is possible when every candidate timed out.
-fn next_batch(inner: &Inner) -> Option<Vec<Request>> {
+/// Prunes every tenant's dead requests under the queue lock.
+fn prune_queues(inner: &Inner, queue: &mut QueueState) {
+    let now = Instant::now();
+    let mut dead = Vec::new();
+    for tq in queue.tenants.values_mut() {
+        dead.extend(take_dead(tq, now));
+    }
+    resolve_dead(inner, dead);
+}
+
+/// The tenant with the largest deficit among those `eligible` selects; ties
+/// break toward the lexicographically first name, so selection is
+/// deterministic.
+fn richest_tenant<F>(queue: &QueueState, eligible: F) -> Option<String>
+where
+    F: Fn(&TenantQueue) -> bool,
+{
+    queue
+        .tenants
+        .iter()
+        .filter(|(_, tq)| eligible(tq))
+        .max_by(|(a_name, a), (b_name, b)| a.deficit.cmp(&b.deficit).then(b_name.cmp(a_name)))
+        .map(|(name, _)| name.clone())
+}
+
+/// The batch-former loop: form batches until admission is closed *and* the
+/// queues are empty (shutdown still serves everything already admitted),
+/// then close the ready queue so the executor pool drains and exits.
+fn run_former(inner: &Inner) {
+    loop {
+        wait_ready_slot(inner);
+        match form_batch(inner) {
+            None => break,
+            Some(batch) if batch.requests.is_empty() => continue,
+            Some(batch) => push_ready(inner, batch),
+        }
+    }
+    let mut ready = inner.ready.lock().expect("ready lock poisoned");
+    ready.closed = true;
+    drop(ready);
+    inner.ready_pop.notify_all();
+}
+
+/// Blocks until a batch is ready (or returns `None` at shutdown-and-
+/// drained). One deficit-round-robin pass picks the leading tenant (whose
+/// oldest request chooses the model); the window then holds the batch open
+/// for same-model arrivals, and extraction fills it across tenants in
+/// deficit order. Dead requests are pruned (and resolved) along the way, so
+/// an empty batch is possible when every candidate was cancelled or expired.
+fn form_batch(inner: &Inner) -> Option<ReadyBatch> {
     let mut queue = inner.queue.lock().expect("queue lock poisoned");
     // Wait for work.
     loop {
-        if !queue.requests.is_empty() {
+        prune_queues(inner, &mut queue);
+        if queue.backlogged() {
             break;
         }
         if !queue.open {
@@ -450,73 +699,226 @@ fn next_batch(inner: &Inner) -> Option<Vec<Request>> {
         queue = guard;
     }
 
-    // Hold the head model's batch open up to the window (shutdown launches
-    // immediately — latency no longer matters, drain fast).
-    let model = queue
+    // The DRR round: every backlogged tenant earns its weight; the richest
+    // leads, and its oldest request picks the model this batch serves.
+    {
+        let weights = inner.weights.read().expect("weights lock poisoned");
+        for (name, tq) in queue.tenants.iter_mut() {
+            if !tq.requests.is_empty() {
+                tq.deficit += *weights.get(name).unwrap_or(&1) as i64;
+            }
+        }
+    }
+    let lead = richest_tenant(&queue, |tq| !tq.requests.is_empty()).expect("queue backlogged");
+    let model = queue.tenants[&lead]
         .requests
         .front()
-        .expect("queue non-empty")
+        .expect("lead tenant backlogged")
         .model
         .clone();
+
+    // Hold the batch open up to the window for more same-model requests
+    // (shutdown launches immediately — latency no longer matters, drain
+    // fast). Past the window, keep holding while every executor is busy: a
+    // formed batch could not start anyway, so each extra arrival fattens it
+    // for free. This is the explicit version of the PR-7 inline scheduler's
+    // implicit back-pressure (it could not form while executing), and it is
+    // what keeps saturated closed-loop batches full — launching on the bare
+    // window measured mean batch 6.9 instead of 8 and a 13% throughput
+    // loss. A starving worker bumps `idle_workers` and knocks on `arrived`,
+    // so dispatch latency past the window is one wakeup, not a poll.
     let window_end = Instant::now() + inner.cfg.batch_window;
     while queue.open {
-        let waiting = queue.requests.iter().filter(|r| r.model == model).count();
+        prune_queues(inner, &mut queue);
+        let waiting: usize = queue
+            .tenants
+            .values()
+            .map(|tq| tq.requests.iter().filter(|r| r.model == model).count())
+            .sum();
         if waiting >= inner.cfg.max_batch {
             break;
         }
         let now = Instant::now();
-        if now >= window_end {
+        let wait = if now < window_end {
+            window_end - now
+        } else if inner.idle_workers.load(Ordering::SeqCst) > 0 {
             break;
-        }
+        } else {
+            IDLE_POLL
+        };
         let (guard, _) = inner
             .arrived
-            .wait_timeout(queue, window_end - now)
+            .wait_timeout(queue, wait)
             .expect("queue lock poisoned");
         queue = guard;
     }
+    prune_queues(inner, &mut queue);
 
-    // Extract up to max_batch live same-model requests, resolving expired
-    // ones as timed out. Other models' requests keep their positions.
-    let now = Instant::now();
+    // Extraction: repeatedly take the oldest same-model request of the
+    // richest tenant still holding one; each admitted request pays one
+    // credit. Other models' requests keep their queue positions.
     let mut batch = Vec::new();
-    let mut kept = VecDeque::with_capacity(queue.requests.len());
-    while let Some(request) = queue.requests.pop_front() {
-        if request.model != model || batch.len() == inner.cfg.max_batch {
-            kept.push_back(request);
-            continue;
-        }
-        if request.deadline.is_some_and(|d| d <= now) {
-            let mut stats = inner.stats.lock().expect("stats lock poisoned");
-            stats.timed_out += 1;
-            stats
-                .tenants
-                .entry(request.tenant.clone())
-                .or_default()
-                .timed_out += 1;
-            drop(stats);
-            request.promise.fulfill(Err(ServeError::Timeout));
-            continue;
-        }
+    while batch.len() < inner.cfg.max_batch {
+        let Some(tenant) =
+            richest_tenant(&queue, |tq| tq.requests.iter().any(|r| r.model == model))
+        else {
+            break;
+        };
+        let tq = queue.tenants.get_mut(&tenant).expect("tenant selected");
+        let pos = tq
+            .requests
+            .iter()
+            .position(|r| r.model == model)
+            .expect("tenant had a candidate");
+        let request = tq.requests.remove(pos).expect("position in bounds");
+        tq.deficit -= 1;
         batch.push(request);
     }
-    queue.requests = kept;
-    Some(batch)
+
+    // Drained tenants leave the round: credit (or debt) does not bank
+    // across idle periods. Debt is floored at one batch's worth — a tenant
+    // that served alone (paying more than it earned, with nobody competing)
+    // must not carry that artificial debt into a later contended phase.
+    queue.tenants.retain(|_, tq| !tq.requests.is_empty());
+    let debt_floor = -(inner.cfg.max_batch as i64);
+    for tq in queue.tenants.values_mut() {
+        tq.deficit = tq.deficit.max(debt_floor);
+    }
+
+    // Admission order within the batch, so coalescing stays deterministic.
+    batch.sort_by_key(|r| r.id);
+    Some(ReadyBatch {
+        model,
+        requests: batch,
+    })
 }
 
-/// Runs one coalesced batch and resolves every member's promise.
-fn execute_batch(inner: &Inner, batch: Vec<Request>) {
+/// Back-pressure: the former does not even begin forming a batch until the
+/// pool can accept it. Requests keep accumulating in the admission queues
+/// while every ready slot is full, so under sustained load each batch is
+/// formed at the moment a slot frees — from the fullest possible backlog —
+/// and the window only pads genuinely idle periods. Forming eagerly and
+/// blocking on the push instead would lock undersized batches in far ahead
+/// of their execution (measured: mean batch 3.9 instead of 8 on the
+/// closed-loop sweep, a 27% throughput loss vs the PR-7 inline scheduler,
+/// whose execution time back-pressured formation implicitly).
+fn wait_ready_slot(inner: &Inner) {
+    let mut ready = inner.ready.lock().expect("ready lock poisoned");
+    while ready.batches.len() >= inner.cfg.ready_depth {
+        let (guard, _) = inner
+            .ready_push
+            .wait_timeout(ready, IDLE_POLL)
+            .expect("ready lock poisoned");
+        ready = guard;
+    }
+}
+
+/// Hands a formed batch to the pool. Only the former pushes, so after
+/// [`wait_ready_slot`] the slot is still free; the wait here is a
+/// belt-and-braces bound, not the back-pressure mechanism.
+fn push_ready(inner: &Inner, batch: ReadyBatch) {
+    let mut ready = inner.ready.lock().expect("ready lock poisoned");
+    while ready.batches.len() >= inner.cfg.ready_depth {
+        let (guard, _) = inner
+            .ready_push
+            .wait_timeout(ready, IDLE_POLL)
+            .expect("ready lock poisoned");
+        ready = guard;
+    }
+    ready.batches.push_back(batch);
+    drop(ready);
+    inner.ready_pop.notify_one();
+}
+
+/// One executor worker: pop ready batches and replay them until the former
+/// closes the queue and it runs dry. The worker keeps a [`ReplayScratch`]
+/// per (model, batch) it serves, so its steady state allocates no buffer
+/// memory.
+fn run_worker(inner: &Inner, worker: usize) {
+    let mut scratches: BTreeMap<(String, usize), ReplayScratch> = BTreeMap::new();
+    loop {
+        let batch = {
+            let mut ready = inner.ready.lock().expect("ready lock poisoned");
+            loop {
+                if let Some(batch) = ready.batches.pop_front() {
+                    inner.ready_push.notify_one();
+                    break batch;
+                }
+                if ready.closed {
+                    return;
+                }
+                // Starving: tell the former a non-full batch is now worth
+                // launching (it may be holding one open past its window
+                // because nobody could run it anyway).
+                inner.idle_workers.fetch_add(1, Ordering::SeqCst);
+                inner.arrived.notify_all();
+                let (guard, _) = inner
+                    .ready_pop
+                    .wait_timeout(ready, IDLE_POLL)
+                    .expect("ready lock poisoned");
+                ready = guard;
+                inner.idle_workers.fetch_sub(1, Ordering::SeqCst);
+            }
+        };
+        execute_batch(inner, worker, batch, &mut scratches);
+    }
+}
+
+/// Runs one formed batch on `worker` and resolves every member's promise.
+/// Requests cancelled or expired since formation are resolved here without
+/// executing — the final gate that keeps dead requests out of the
+/// accelerator.
+fn execute_batch(
+    inner: &Inner,
+    worker: usize,
+    batch: ReadyBatch,
+    scratches: &mut BTreeMap<(String, usize), ReplayScratch>,
+) {
     let launched = Instant::now();
-    let size = batch.len();
+    let mut live = Vec::with_capacity(batch.requests.len());
+    {
+        let mut stats = inner.worker_stats[worker]
+            .lock()
+            .expect("worker stats lock poisoned");
+        for request in batch.requests {
+            if request.promise.is_cancelled() {
+                stats.cancelled += 1;
+                stats
+                    .tenants
+                    .entry(request.tenant.clone())
+                    .or_default()
+                    .cancelled += 1;
+                request.promise.fulfill(Err(ServeError::Cancelled));
+            } else if request.deadline.is_some_and(|d| d <= launched) {
+                stats.timed_out += 1;
+                stats
+                    .tenants
+                    .entry(request.tenant.clone())
+                    .or_default()
+                    .timed_out += 1;
+                request.promise.fulfill(Err(ServeError::Timeout));
+            } else {
+                live.push(request);
+            }
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let size = live.len();
     let model = inner
         .models
         .read()
         .expect("model registry poisoned")
-        .get(&batch[0].model)
+        .get(&batch.model)
         .cloned()
         .expect("submit validated the model; models are never unregistered");
 
     let failure = |batch: Vec<Request>, err: ServeError| {
-        let mut stats = inner.stats.lock().expect("stats lock poisoned");
+        let mut stats = inner.worker_stats[worker]
+            .lock()
+            .expect("worker stats lock poisoned");
         for request in batch {
             stats
                 .tenants
@@ -529,32 +931,46 @@ fn execute_batch(inner: &Inner, batch: Vec<Request>) {
 
     let program = match model.program_for(size) {
         Ok(program) => program,
-        Err(err) => return failure(batch, err),
+        Err(err) => return failure(live, err),
     };
 
     // Coalesce: sample `i` of the batched input is request `i`'s sample 0.
     let [_, c, h, w] = model.input_shape;
     let iacts = Tensor4::from_fn([size, c, h, w], |n, cc, hh, ww| {
-        batch[n].iacts.get(0, cc, hh, ww)
+        live[n].iacts.get(0, cc, hh, ww)
     });
 
-    let run = match program.run(&iacts, &model.weights) {
+    let key = (batch.model.clone(), size);
+    if !scratches.contains_key(&key) && scratches.len() >= SCRATCH_CAPACITY {
+        scratches.clear();
+    }
+    let scratch = scratches.entry(key).or_default();
+
+    let executing = inner.executing.fetch_add(1, Ordering::SeqCst) + 1;
+    inner.max_executing.fetch_max(executing, Ordering::SeqCst);
+    let run = program.run_with_scratch(scratch, &iacts, &model.weights);
+    inner.executing.fetch_sub(1, Ordering::SeqCst);
+    let run = match run {
         Ok(run) => run,
-        Err(err) => return failure(batch, ServeError::Exec(err)),
+        Err(err) => return failure(live, ServeError::Exec(err)),
     };
 
     // Split: each request gets its own sample, bit-identical to a solo run.
     let cycles = run.report.total_cycles();
     let dram_bytes = run.report.dram_bytes();
     let [_, m, p, q] = run.oacts.shape();
-    let mut stats = inner.stats.lock().expect("stats lock poisoned");
+    let mut stats = inner.worker_stats[worker]
+        .lock()
+        .expect("worker stats lock poisoned");
     *stats.batches.entry(size).or_insert(0) += 1;
-    for (i, request) in batch.into_iter().enumerate() {
+    *stats.worker_batches.entry(worker).or_insert(0) += 1;
+    for (i, request) in live.into_iter().enumerate() {
         let oacts = Tensor4::from_fn([1, m, p, q], |_, mm, pp, qq| run.oacts.get(i, mm, pp, qq));
         let latency_us = request.enqueued.elapsed().as_micros() as u64;
         let response = Response {
             oacts,
             batch_size: size,
+            worker,
             queue_us: launched.duration_since(request.enqueued).as_micros() as u64,
             latency_us,
             cycles: cycles / size as u64,
@@ -615,7 +1031,7 @@ mod tests {
             ..ServeConfig::default()
         });
         server.register_model("m", config(), &g, weights).unwrap();
-        // All four land inside the window, so the scheduler coalesces them
+        // All four land inside the window, so the former coalesces them
         // into one batch-4 run the moment the fourth arrives.
         let tickets: Vec<Ticket> = inputs
             .iter()
@@ -737,6 +1153,284 @@ mod tests {
     }
 
     #[test]
+    fn queue_depth_bounds_each_tenant_separately() {
+        let g = tiny_graph("m");
+        let weights = g.random_weights(6);
+        let iacts = Tensor4::random([1, 2, 4, 4], 11);
+
+        let mut server = Server::new(ServeConfig {
+            max_batch: 8,
+            queue_depth: 2,
+            batch_window: Duration::from_secs(5),
+            ..ServeConfig::default()
+        });
+        server.register_model("m", config(), &g, weights).unwrap();
+        let _a1 = server.submit("a", "m", iacts.clone()).unwrap();
+        let _a2 = server.submit("a", "m", iacts.clone()).unwrap();
+        // Tenant `a` is at capacity; tenant `b` has its own bound.
+        assert!(matches!(
+            server.submit("a", "m", iacts.clone()),
+            Err(ServeError::QueueFull { depth: 2 })
+        ));
+        let _b1 = server.submit("b", "m", iacts.clone()).unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.tenants["a"].rejected, 1);
+        assert!(!stats.tenants.contains_key("b") || stats.tenants["b"].rejected == 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn cancelled_requests_never_execute() {
+        let g = tiny_graph("m");
+        let weights = g.random_weights(8);
+        let solo = GraphSession::auto(config(), &g).unwrap();
+        let iacts = Tensor4::random([1, 2, 4, 4], 13);
+        let golden = solo.run(&iacts, &weights).unwrap().oacts;
+
+        // A wide window keeps all three parked while we cancel two of them.
+        let mut server = Server::new(ServeConfig {
+            max_batch: 8,
+            batch_window: Duration::from_secs(5),
+            ..ServeConfig::default()
+        });
+        server.register_model("m", config(), &g, weights).unwrap();
+        let keep = server.submit("t", "m", iacts.clone()).unwrap();
+        let explicit = server.submit("t", "m", iacts.clone()).unwrap();
+        let abandoned = server.submit("t", "m", iacts.clone()).unwrap();
+
+        explicit.cancel();
+        drop(abandoned); // dropping the ticket cancels too
+
+        server.shutdown();
+        assert_eq!(keep.wait().unwrap().oacts, golden);
+        assert_eq!(explicit.wait(), Err(ServeError::Cancelled));
+
+        let stats = server.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.cancelled, 2);
+        assert_eq!(stats.tenants["t"].cancelled, 2);
+        // The cancelled pair never reached an executor: the only executed
+        // batch held exactly the surviving request.
+        assert_eq!(stats.batches, BTreeMap::from([(1, 1)]));
+    }
+
+    #[test]
+    fn weighted_fair_admission_shares_batches_by_weight() {
+        let g_light = tiny_graph("ml");
+        let g_flood = tiny_graph("mf");
+        let w_light = g_light.random_weights(21);
+        let w_flood = g_flood.random_weights(22);
+
+        // One worker and a one-deep ready queue keep batch formation late;
+        // a long first window lets both tenants pile up their backlogs
+        // before any fairness decision is made.
+        let mut server = Server::new(ServeConfig {
+            max_batch: 4,
+            queue_depth: 64,
+            batch_window: Duration::from_millis(150),
+            workers: 1,
+            ready_depth: 1,
+            ..ServeConfig::default()
+        });
+        server
+            .register_model("ml", config(), &g_light, w_light)
+            .unwrap();
+        server
+            .register_model("mf", config(), &g_flood, w_flood)
+            .unwrap();
+        server.set_tenant_weight("light", 4);
+        server.set_tenant_weight("flood", 1);
+
+        // The plug opens a window on model `mf`; the backlogs below are
+        // queued while the former races through its first few flood-only
+        // batches, after which both tenants contend on every round.
+        let plug = server
+            .submit("warm", "mf", Tensor4::random([1, 2, 4, 4], 30))
+            .unwrap();
+        let flood: Vec<Ticket> = (0..64)
+            .map(|i| {
+                server
+                    .submit("flood", "mf", Tensor4::random([1, 2, 4, 4], 100 + i))
+                    .unwrap()
+            })
+            .collect();
+        let light: Vec<Ticket> = (0..32)
+            .map(|i| {
+                server
+                    .submit("light", "ml", Tensor4::random([1, 2, 4, 4], 200 + i))
+                    .unwrap()
+            })
+            .collect();
+
+        // Despite submitting after 64 flooding requests, the weight-4
+        // tenant's 32 requests finish while the flood is still deeply
+        // backlogged: under sustained contention it earns 4 of every 5
+        // batches, so the flood advances by roughly a quarter of light's
+        // volume (plus the few batches it won before light's backlog
+        // landed). Equal weights would leave the flood at ~43 of 64 here;
+        // FIFO would drain it completely first.
+        for ticket in light {
+            ticket.wait().unwrap();
+        }
+        let mid = server.stats();
+        assert_eq!(mid.tenants["light"].completed, 32);
+        let flood_done = mid.tenants.get("flood").map_or(0, |t| t.completed);
+        assert!(
+            flood_done < 64,
+            "flood must still be backlogged when light drains (saw {flood_done})"
+        );
+        assert!(
+            flood_done <= 28,
+            "weight-1 flood got {flood_done} of its requests through while the \
+             weight-4 tenant's 32 drained — shares are not tracking weights"
+        );
+
+        // Drain: nobody is starved forever, nothing is lost.
+        plug.wait().unwrap();
+        for ticket in flood {
+            ticket.wait().unwrap();
+        }
+        let stats = server.stats();
+        assert_eq!(stats.completed, 1 + 64 + 32);
+        assert_eq!(stats.tenants["flood"].completed, 64);
+        server.shutdown();
+    }
+
+    /// A deeper graph whose replay spans several scheduler timeslices, so
+    /// two pool workers on one hardware thread still interleave mid-run.
+    fn stout_graph(name: &str) -> Graph {
+        let mut g = Graph::new(name, [1, 4, 8, 8]);
+        let stem = g
+            .conv(
+                g.input(),
+                ConvLayer::new(1, 16, 4, 8, 8, 3, 3)
+                    .with_padding(1)
+                    .with_name("stem"),
+            )
+            .unwrap();
+        let mid = g
+            .conv(
+                stem,
+                ConvLayer::new(1, 16, 16, 8, 8, 3, 3)
+                    .with_padding(1)
+                    .with_name("mid"),
+            )
+            .unwrap();
+        g.conv(mid, ConvLayer::new(1, 4, 16, 8, 8, 1, 1).with_name("head"))
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn executor_pool_overlaps_batches_and_stays_exact() {
+        let g_a = stout_graph("a");
+        let g_b = stout_graph("b");
+        let w_a = g_a.random_weights(31);
+        let w_b = g_b.random_weights(32);
+        let solo_a = GraphSession::auto(config(), &g_a).unwrap();
+        let solo_b = GraphSession::auto(config(), &g_b).unwrap();
+        let ia = Tensor4::random([1, 4, 8, 8], 1000);
+        let ib = Tensor4::random([1, 4, 8, 8], 2000);
+        let golden_a = solo_a.run(&ia, &w_a).unwrap().oacts;
+        let golden_b = solo_b.run(&ib, &w_b).unwrap().oacts;
+
+        let server = Server::new(ServeConfig {
+            max_batch: 1,
+            batch_window: Duration::ZERO,
+            workers: 2,
+            ready_depth: 2,
+            ..ServeConfig::default()
+        });
+        server.register_model("a", config(), &g_a, w_a).unwrap();
+        server.register_model("b", config(), &g_b, w_b).unwrap();
+
+        // Round after round, launch one request per model simultaneously;
+        // with two workers the pair executes overlapped. On a single
+        // hardware thread overlap relies on preemption mid-run, so keep
+        // trying until the watermark proves it (each run spans multiple
+        // timeslices, making that overwhelmingly likely within a few
+        // rounds).
+        let mut overlapped = false;
+        for round in 0..150 {
+            let ta = server.submit("t", "a", ia.clone()).unwrap();
+            let tb = server.submit("t", "b", ib.clone()).unwrap();
+            let ra = ta.wait().unwrap();
+            let rb = tb.wait().unwrap();
+            assert_eq!(ra.oacts, golden_a, "round {round}: model a diverged");
+            assert_eq!(rb.oacts, golden_b, "round {round}: model b diverged");
+            if server.stats().max_concurrent_batches >= 2 {
+                overlapped = true;
+                break;
+            }
+        }
+        let stats = server.stats();
+        assert!(
+            overlapped,
+            "two workers never overlapped two batches (watermark {})",
+            stats.max_concurrent_batches
+        );
+        assert!(stats.max_concurrent_batches <= 2, "watermark exceeds pool");
+        // Overlap takes two distinct workers, so both must have executed.
+        assert!(
+            stats.worker_batches.len() >= 2,
+            "work never spread across the pool: {:?}",
+            stats.worker_batches
+        );
+    }
+
+    #[test]
+    fn program_cache_counters_are_exact_under_contention() {
+        let g = tiny_graph("m");
+        let server = Server::new(ServeConfig::default());
+        server
+            .register_model("m", config(), &g, g.random_weights(1))
+            .unwrap();
+        let model = {
+            let models = server.inner.models.read().unwrap();
+            models.get("m").cloned().unwrap()
+        };
+
+        // More batch sizes than the cache holds, hammered from four
+        // threads in opposing orders to force eviction/recompile churn.
+        const THREADS: usize = 4;
+        const SIZES: usize = PROGRAM_CACHE_CAPACITY + 2;
+        const ROUNDS: usize = 2;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let model = model.clone();
+                scope.spawn(move || {
+                    for round in 0..ROUNDS {
+                        for i in 1..=SIZES {
+                            let batch = if (t + round) % 2 == 0 {
+                                i
+                            } else {
+                                SIZES + 1 - i
+                            };
+                            model.program_for(batch).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+
+        let stats = model.program_cache_stats();
+        let calls = (THREADS * ROUNDS * SIZES) as u64;
+        // No lost updates: every call is exactly a hit or a miss, every
+        // miss is exactly one compile attempt (artifact hit or miss), and
+        // the resident set is exactly inserts minus evictions, within the
+        // capacity bound.
+        assert_eq!(stats.hits + stats.misses, calls);
+        assert!(
+            stats.misses >= SIZES as u64,
+            "each size compiles at least once"
+        );
+        assert_eq!(stats.artifact_hits + stats.artifact_misses, stats.misses);
+        assert_eq!(stats.resident as u64, stats.misses - stats.evictions);
+        assert!(stats.resident <= PROGRAM_CACHE_CAPACITY);
+    }
+
+    #[test]
     fn expired_requests_resolve_as_timeouts() {
         let g = tiny_graph("m");
         let server = Server::new(ServeConfig {
@@ -768,5 +1462,20 @@ mod tests {
         assert_eq!(cfg.queue_depth, 64);
         assert!(cfg.batch_window > Duration::ZERO);
         assert_eq!(cfg.default_deadline, None);
+        assert_eq!(cfg.workers, 1);
+        assert_eq!(cfg.ready_depth, 1);
+        // Zero-valued knobs clamp to functioning minimums.
+        let server = Server::new(ServeConfig {
+            max_batch: 0,
+            queue_depth: 0,
+            workers: 0,
+            ready_depth: 0,
+            ..ServeConfig::default()
+        });
+        let cfg = server.config();
+        assert_eq!(cfg.max_batch, 1);
+        assert_eq!(cfg.queue_depth, 1);
+        assert_eq!(cfg.workers, 1);
+        assert_eq!(cfg.ready_depth, 1);
     }
 }

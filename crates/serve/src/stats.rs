@@ -19,6 +19,9 @@ pub struct TenantStats {
     pub rejected: u64,
     /// Requests dropped because their deadline expired in the queue.
     pub timed_out: u64,
+    /// Requests cancelled (ticket dropped or `Ticket::cancel`) before an
+    /// executor picked them up.
+    pub cancelled: u64,
     /// Requests that reached the executor but failed.
     pub failed: u64,
     /// Total end-to-end latency (submit → response) across completed
@@ -40,6 +43,20 @@ impl TenantStats {
         } else {
             self.latency_us as f64 / self.completed as f64
         }
+    }
+
+    /// Folds another aggregate into this one (sums, except the latency
+    /// high-water mark which takes the max).
+    pub fn merge(&mut self, other: &TenantStats) {
+        self.completed += other.completed;
+        self.rejected += other.rejected;
+        self.timed_out += other.timed_out;
+        self.cancelled += other.cancelled;
+        self.failed += other.failed;
+        self.latency_us += other.latency_us;
+        self.max_latency_us = self.max_latency_us.max(other.max_latency_us);
+        self.cycles += other.cycles;
+        self.dram_bytes += other.dram_bytes;
     }
 }
 
@@ -72,6 +89,11 @@ pub struct ProgramCacheStats {
 }
 
 /// A snapshot of the whole server's counters.
+///
+/// With an executor pool, each worker keeps its own shard of these counters
+/// on its private lock; [`Server::stats`](crate::Server::stats) merges the
+/// shards (via [`ServerStats::merge`]) into the snapshot you see here, so
+/// the hot path never contends on one global stats mutex.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Per-tenant aggregates, keyed by tenant name.
@@ -79,18 +101,48 @@ pub struct ServerStats {
     /// Histogram of executed batch sizes: `batches[k]` batches ran with
     /// exactly `k` coalesced requests.
     pub batches: BTreeMap<usize, u64>,
+    /// Batches executed per pool worker, keyed by worker index — shows how
+    /// evenly the ready queue spread work across the pool.
+    pub worker_batches: BTreeMap<usize, u64>,
     /// Requests completed successfully, across all tenants.
     pub completed: u64,
     /// Requests bounced by admission control, across all tenants.
     pub rejected: u64,
     /// Requests dropped on deadline expiry, across all tenants.
     pub timed_out: u64,
+    /// Requests cancelled before execution, across all tenants.
+    pub cancelled: u64,
+    /// High-water mark of batches executing simultaneously across the pool.
+    /// `>= 2` proves real overlap; always `<=` the configured worker count.
+    pub max_concurrent_batches: u64,
 }
 
 impl ServerStats {
     /// Number of `GraphSession` runs the scheduler launched.
     pub fn executed_batches(&self) -> u64 {
         self.batches.values().sum()
+    }
+
+    /// Folds another shard of counters into this one: sums everywhere,
+    /// except per-tenant latency high-water marks (max) and the concurrency
+    /// watermark (max).
+    pub fn merge(&mut self, other: &ServerStats) {
+        for (tenant, stats) in &other.tenants {
+            self.tenants.entry(tenant.clone()).or_default().merge(stats);
+        }
+        for (size, count) in &other.batches {
+            *self.batches.entry(*size).or_insert(0) += count;
+        }
+        for (worker, count) in &other.worker_batches {
+            *self.worker_batches.entry(*worker).or_insert(0) += count;
+        }
+        self.completed += other.completed;
+        self.rejected += other.rejected;
+        self.timed_out += other.timed_out;
+        self.cancelled += other.cancelled;
+        self.max_concurrent_batches = self
+            .max_concurrent_batches
+            .max(other.max_concurrent_batches);
     }
 
     /// Mean coalesced batch size over all executed batches.
@@ -134,5 +186,65 @@ mod tests {
         t.completed = 4;
         t.latency_us = 1000;
         assert_eq!(t.mean_latency_us(), 250.0);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_watermarks() {
+        let mut a = ServerStats {
+            completed: 3,
+            rejected: 1,
+            max_concurrent_batches: 2,
+            ..ServerStats::default()
+        };
+        a.batches.insert(2, 1);
+        a.worker_batches.insert(0, 1);
+        a.tenants.insert(
+            "t".into(),
+            TenantStats {
+                completed: 3,
+                latency_us: 300,
+                max_latency_us: 200,
+                ..TenantStats::default()
+            },
+        );
+
+        let mut b = ServerStats {
+            completed: 2,
+            cancelled: 4,
+            timed_out: 1,
+            max_concurrent_batches: 1,
+            ..ServerStats::default()
+        };
+        b.batches.insert(2, 2);
+        b.batches.insert(4, 1);
+        b.worker_batches.insert(1, 3);
+        b.tenants.insert(
+            "t".into(),
+            TenantStats {
+                completed: 2,
+                cancelled: 4,
+                timed_out: 1,
+                latency_us: 100,
+                max_latency_us: 90,
+                ..TenantStats::default()
+            },
+        );
+
+        a.merge(&b);
+        assert_eq!(a.completed, 5);
+        assert_eq!(a.rejected, 1);
+        assert_eq!(a.timed_out, 1);
+        assert_eq!(a.cancelled, 4);
+        assert_eq!(a.max_concurrent_batches, 2);
+        assert_eq!(a.batches[&2], 3);
+        assert_eq!(a.batches[&4], 1);
+        assert_eq!(a.executed_batches(), 4);
+        assert_eq!(a.worker_batches[&0], 1);
+        assert_eq!(a.worker_batches[&1], 3);
+        let t = &a.tenants["t"];
+        assert_eq!(t.completed, 5);
+        assert_eq!(t.cancelled, 4);
+        assert_eq!(t.latency_us, 400);
+        assert_eq!(t.max_latency_us, 200);
     }
 }

@@ -7,6 +7,7 @@
 
 use std::future::Future;
 use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 use std::thread::Thread;
@@ -19,11 +20,18 @@ use crate::server::Response;
 pub(crate) struct Promise {
     slot: Mutex<Slot>,
     ready: Condvar,
+    /// Set by [`Ticket::cancel`] (or the ticket's `Drop`). The batch former
+    /// and the executor workers check it before execution and resolve
+    /// flagged requests as [`ServeError::Cancelled`] without running them.
+    cancelled: AtomicBool,
 }
 
 struct Slot {
     result: Option<Result<Response, ServeError>>,
     waker: Option<Waker>,
+    /// The consumer already took the result (`wait` returned / the future
+    /// resolved) — the ticket's `Drop` must not treat this as abandonment.
+    consumed: bool,
 }
 
 impl Promise {
@@ -32,8 +40,10 @@ impl Promise {
             slot: Mutex::new(Slot {
                 result: None,
                 waker: None,
+                consumed: false,
             }),
             ready: Condvar::new(),
+            cancelled: AtomicBool::new(false),
         })
     }
 
@@ -41,7 +51,7 @@ impl Promise {
     pub(crate) fn fulfill(&self, result: Result<Response, ServeError>) {
         let waker = {
             let mut slot = self.slot.lock().expect("promise lock poisoned");
-            if slot.result.is_none() {
+            if slot.result.is_none() && !slot.consumed {
                 slot.result = Some(result);
             }
             slot.waker.take()
@@ -51,13 +61,33 @@ impl Promise {
             waker.wake();
         }
     }
+
+    /// Flags the request for removal before execution. Best-effort: a
+    /// request an executor already picked up still completes normally.
+    pub(crate) fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether the holder asked for this request to be dropped.
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Whether the outcome has already been written (resolved) or taken.
+    fn is_settled(&self) -> bool {
+        let slot = self.slot.lock().expect("promise lock poisoned");
+        slot.result.is_some() || slot.consumed
+    }
 }
 
 /// A handle to one in-flight inference request.
 ///
 /// Resolve it either synchronously with [`Ticket::wait`] or asynchronously
 /// by `await`ing it (it implements [`Future`]); [`block_on`] drives the
-/// latter without an async runtime.
+/// latter without an async runtime. Abandoning the handle cancels the
+/// request: dropping an unresolved `Ticket` (or calling [`Ticket::cancel`])
+/// flags it, and the scheduler drops it before execution with
+/// [`ServeError::Cancelled`].
 pub struct Ticket {
     promise: Arc<Promise>,
     id: u64,
@@ -73,11 +103,20 @@ impl Ticket {
         self.id
     }
 
+    /// Asks the server to drop this request before execution; it resolves
+    /// as [`ServeError::Cancelled`] once the scheduler prunes it. Best
+    /// effort: a request an executor already started (or finished) still
+    /// resolves with its real outcome.
+    pub fn cancel(&self) {
+        self.promise.cancel();
+    }
+
     /// Blocks the calling thread until the scheduler resolves the request.
     pub fn wait(self) -> Result<Response, ServeError> {
         let mut slot = self.promise.slot.lock().expect("promise lock poisoned");
         loop {
             if let Some(result) = slot.result.take() {
+                slot.consumed = true;
                 return result;
             }
             slot = self
@@ -89,13 +128,27 @@ impl Ticket {
     }
 }
 
+impl Drop for Ticket {
+    /// Dropping an unresolved ticket abandons the request — nobody can ever
+    /// observe its response, so cancel it and let the scheduler skip the
+    /// work.
+    fn drop(&mut self) {
+        if !self.promise.is_settled() {
+            self.promise.cancel();
+        }
+    }
+}
+
 impl Future for Ticket {
     type Output = Result<Response, ServeError>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let mut slot = self.promise.slot.lock().expect("promise lock poisoned");
         match slot.result.take() {
-            Some(result) => Poll::Ready(result),
+            Some(result) => {
+                slot.consumed = true;
+                Poll::Ready(result)
+            }
             None => {
                 slot.waker = Some(cx.waker().clone());
                 Poll::Pending
@@ -173,5 +226,43 @@ mod tests {
         promise.fulfill(Err(ServeError::Timeout));
         promise.fulfill(Err(ServeError::Shutdown));
         assert_eq!(ticket.wait(), Err(ServeError::Timeout));
+    }
+
+    #[test]
+    fn cancel_flags_the_promise_and_resolves_as_cancelled() {
+        let promise = Promise::new();
+        let ticket = Ticket::new(promise.clone(), 4);
+        assert!(!promise.is_cancelled());
+        ticket.cancel();
+        assert!(promise.is_cancelled());
+        // The scheduler prunes flagged requests by fulfilling them.
+        promise.fulfill(Err(ServeError::Cancelled));
+        assert_eq!(ticket.wait(), Err(ServeError::Cancelled));
+    }
+
+    #[test]
+    fn dropping_an_unresolved_ticket_cancels_it() {
+        let promise = Promise::new();
+        let ticket = Ticket::new(promise.clone(), 5);
+        drop(ticket);
+        assert!(promise.is_cancelled());
+    }
+
+    #[test]
+    fn dropping_a_consumed_ticket_does_not_cancel() {
+        let promise = Promise::new();
+        let ticket = Ticket::new(promise.clone(), 6);
+        promise.fulfill(Err(ServeError::Timeout));
+        assert_eq!(ticket.wait(), Err(ServeError::Timeout));
+        assert!(
+            !promise.is_cancelled(),
+            "a settled request is not abandoned"
+        );
+        // A resolved-but-unclaimed ticket is not abandonment either.
+        let promise2 = Promise::new();
+        let ticket2 = Ticket::new(promise2.clone(), 7);
+        promise2.fulfill(Err(ServeError::Shutdown));
+        drop(ticket2);
+        assert!(!promise2.is_cancelled());
     }
 }

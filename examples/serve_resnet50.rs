@@ -61,12 +61,15 @@ fn main() {
     );
 
     // The server: batch up to 8, hold a non-full batch open 2 ms, admit up
-    // to 128 queued requests (all 64 clients can be in flight at once).
+    // to 128 queued requests per tenant (all 64 clients can be in flight at
+    // once), and replay batches on a 2-worker executor pool.
     let server = Arc::new(Server::new(ServeConfig {
         max_batch: 8,
         queue_depth: 128,
         batch_window: Duration::from_millis(2),
         default_deadline: None,
+        workers: 2,
+        ..ServeConfig::default()
     }));
     server
         .register_model("resnet50", config, &graph, weights)
@@ -122,6 +125,10 @@ fn main() {
     );
     assert!((stats.executed_batches() as usize) < CLIENTS * REQUESTS_PER_CLIENT);
     println!("dynamic batching coalesced concurrent requests into multi-batch runs");
+    println!(
+        "executor pool: batches per worker {:?}, peak {} batch(es) in flight",
+        stats.worker_batches, stats.max_concurrent_batches,
+    );
 
     println!(
         "\n{:<12} {:>9} {:>14} {:>14} {:>14}",

@@ -1,13 +1,16 @@
 //! Concurrency stress for the serving front-end: many client threads drive
 //! one `Server` hosting several small models at once, so the shared
-//! compiled-route cache, the per-model session maps, and the admission
-//! queue all see real contention. Every response must be bit-identical to a
-//! solo (batch-1) run of the same input — the scheduler is free to coalesce
-//! requests however the timing falls, and that freedom must be invisible in
-//! the results. A poisoned lock anywhere panics the scheduler or a client,
-//! so the test doubles as a no-poisoned-locks check.
+//! compiled-route cache, the per-model session maps, the per-tenant
+//! admission queues, and the executor pool all see real contention. Every
+//! response must be bit-identical to a solo (batch-1) run of the same input
+//! — the scheduler is free to coalesce requests however the timing falls
+//! and to spread batches across however many workers are configured, and
+//! that freedom must be invisible in the results. A poisoned lock anywhere
+//! panics a server thread or a client, so the tests double as a
+//! no-poisoned-locks check.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -15,7 +18,7 @@ use feather::{FeatherConfig, GraphSession};
 use feather_arch::graph::{Graph, NodeId};
 use feather_arch::tensor::Tensor4;
 use feather_arch::workload::{ConvLayer, GemmLayer};
-use feather_serve::{block_on, ServeConfig, ServeError, Server};
+use feather_serve::{block_on, ServeConfig, ServeError, Server, Ticket};
 
 const CLIENTS: usize = 8;
 const REQUESTS_PER_CLIENT: usize = 12;
@@ -106,8 +109,10 @@ fn fixture(name: &'static str, graph: Graph, seed: u64) -> ModelFixture {
     }
 }
 
-#[test]
-fn concurrent_mixed_model_traffic_is_bit_identical_to_solo_runs() {
+/// The mixed-model bit-exactness stress, parameterized over the executor
+/// pool size: the same client schedule must produce the same (solo-golden)
+/// results whether one worker serializes every batch or four race.
+fn mixed_model_traffic(workers: usize) {
     let fixtures: Arc<Vec<ModelFixture>> = Arc::new(vec![
         fixture("residual", residual_model(), 7),
         fixture("chain", chain_model(), 11),
@@ -118,7 +123,8 @@ fn concurrent_mixed_model_traffic_is_bit_identical_to_solo_runs() {
         max_batch: 4,
         queue_depth: 64,
         batch_window: Duration::from_micros(300),
-        default_deadline: None,
+        workers,
+        ..ServeConfig::default()
     }));
     for f in fixtures.iter() {
         server
@@ -162,6 +168,7 @@ fn concurrent_mixed_model_traffic_is_bit_identical_to_solo_runs() {
                         f.name
                     );
                     assert!(response.batch_size >= 1);
+                    assert!(response.worker < workers);
                     assert!(response.cycles > 0);
                 }
             });
@@ -173,6 +180,7 @@ fn concurrent_mixed_model_traffic_is_bit_identical_to_solo_runs() {
     assert_eq!(stats.completed, total);
     assert_eq!(stats.rejected, 0);
     assert_eq!(stats.timed_out, 0);
+    assert_eq!(stats.cancelled, 0);
     assert!(stats.executed_batches() >= 1);
     assert_eq!(
         stats
@@ -182,6 +190,17 @@ fn concurrent_mixed_model_traffic_is_bit_identical_to_solo_runs() {
             .sum::<u64>(),
         total,
         "the batch histogram must account for every completed request"
+    );
+    assert_eq!(
+        stats.worker_batches.values().sum::<u64>(),
+        stats.executed_batches(),
+        "per-worker batch counts must account for every executed batch"
+    );
+    assert!(stats.worker_batches.keys().all(|w| *w < workers));
+    assert!(
+        stats.max_concurrent_batches <= workers as u64,
+        "concurrency watermark {} exceeds the {workers}-worker pool",
+        stats.max_concurrent_batches
     );
     assert_eq!(stats.tenants.len(), 3);
     for (tenant, t) in &stats.tenants {
@@ -205,13 +224,29 @@ fn concurrent_mixed_model_traffic_is_bit_identical_to_solo_runs() {
 }
 
 #[test]
+fn concurrent_mixed_model_traffic_is_bit_identical_to_solo_runs() {
+    mixed_model_traffic(1);
+}
+
+#[test]
+fn concurrent_mixed_model_traffic_with_two_workers() {
+    mixed_model_traffic(2);
+}
+
+#[test]
+fn concurrent_mixed_model_traffic_with_four_workers() {
+    mixed_model_traffic(4);
+}
+
+#[test]
 fn contended_admission_never_loses_or_duplicates_requests() {
     let f = fixture("chain", chain_model(), 23);
     let server = Arc::new(Server::new(ServeConfig {
         max_batch: 2,
         queue_depth: 4,
         batch_window: Duration::from_micros(100),
-        default_deadline: None,
+        workers: 2,
+        ..ServeConfig::default()
     }));
     server
         .register_model(
@@ -272,4 +307,226 @@ fn contended_admission_never_loses_or_duplicates_requests() {
             .sum::<u64>(),
         accepted
     );
+}
+
+#[test]
+fn cancellation_mid_queue_conserves_every_request() {
+    let f = Arc::new(fixture("chain", chain_model(), 29));
+    let server = Arc::new(Server::new(ServeConfig {
+        max_batch: 8,
+        queue_depth: 256,
+        // A window wide enough that a cancel fired right after submit
+        // usually lands while the request is still parked in the queue.
+        batch_window: Duration::from_millis(5),
+        workers: 2,
+        ..ServeConfig::default()
+    }));
+    server
+        .register_model(
+            f.name,
+            FeatherConfig::new(4, 8),
+            &f.graph,
+            f.weights.clone(),
+        )
+        .unwrap();
+
+    const ROUNDS: usize = 8;
+    const CANCEL_CLIENTS: usize = 6;
+    let mut kept_total = 0u64;
+    let mut cancel_ok = 0u64;
+    let mut cancel_cancelled = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CANCEL_CLIENTS)
+            .map(|client| {
+                let server = server.clone();
+                let f = f.clone();
+                scope.spawn(move || {
+                    let mut kept = 0u64;
+                    let mut ok = 0u64;
+                    let mut cancelled = 0u64;
+                    for i in 0..ROUNDS {
+                        let input = (client + i) % f.inputs.len();
+                        // One request to keep, one to cancel explicitly, one
+                        // to abandon by dropping its ticket.
+                        let keep = server
+                            .submit("keeper", f.name, f.inputs[input].clone())
+                            .unwrap();
+                        let explicit = server
+                            .submit("fickle", f.name, f.inputs[input].clone())
+                            .unwrap();
+                        let abandoned = server
+                            .submit("fickle", f.name, f.inputs[input].clone())
+                            .unwrap();
+                        explicit.cancel();
+                        drop(abandoned);
+                        assert_eq!(keep.wait().unwrap().oacts, f.goldens[input]);
+                        kept += 1;
+                        // Cancellation is best-effort: a request already
+                        // past the executor gate completes normally, but it
+                        // must be exactly one of the two outcomes.
+                        match explicit.wait() {
+                            Ok(response) => {
+                                assert_eq!(response.oacts, f.goldens[input]);
+                                ok += 1;
+                            }
+                            Err(ServeError::Cancelled) => cancelled += 1,
+                            Err(e) => panic!("unexpected cancel outcome: {e}"),
+                        }
+                    }
+                    (kept, ok, cancelled)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (kept, ok, cancelled) = handle.join().unwrap();
+            kept_total += kept;
+            cancel_ok += ok;
+            cancel_cancelled += cancelled;
+        }
+    });
+
+    let mut server = Arc::into_inner(server).expect("all clients joined");
+    server.shutdown();
+    let stats = server.stats();
+    let submitted = (CANCEL_CLIENTS * ROUNDS * 3) as u64;
+    assert_eq!(kept_total, (CANCEL_CLIENTS * ROUNDS) as u64);
+    // Conservation: every admitted request resolved exactly once, as a
+    // completion or a cancellation — nothing lost, nothing double-counted.
+    assert_eq!(stats.completed + stats.cancelled, submitted);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.timed_out, 0);
+    // The fickle tenant's two requests per round each resolved exactly once.
+    let fickle = &stats.tenants["fickle"];
+    assert_eq!(
+        fickle.completed + fickle.cancelled,
+        (CANCEL_CLIENTS * ROUNDS * 2) as u64
+    );
+    assert!(fickle.completed >= cancel_ok);
+    assert!(fickle.cancelled >= cancel_cancelled);
+    // With a 5 ms window, cancels fired microseconds after submit land in
+    // the queue essentially always — the pruning path really ran.
+    assert!(
+        stats.cancelled > 0,
+        "no cancellation was ever pruned mid-queue"
+    );
+    assert_eq!(stats.tenants["fickle"].cancelled, stats.cancelled);
+    assert_eq!(stats.tenants["keeper"].completed, kept_total);
+    // The batch histogram counts only executed requests: cancelled ones
+    // never reached a worker.
+    assert_eq!(
+        stats
+            .batches
+            .iter()
+            .map(|(k, n)| *k as u64 * n)
+            .sum::<u64>(),
+        stats.completed
+    );
+}
+
+#[test]
+fn weighted_fair_scheduling_bounds_light_tenant_service_delay() {
+    let light_model = Arc::new(fixture("chain", chain_model(), 31));
+    let flood_model = Arc::new(fixture("residual", residual_model(), 37));
+    let server = Arc::new(Server::new(ServeConfig {
+        max_batch: 4,
+        queue_depth: 32,
+        batch_window: Duration::from_micros(100),
+        workers: 1,
+        ready_depth: 1,
+        ..ServeConfig::default()
+    }));
+    for f in [&light_model, &flood_model] {
+        server
+            .register_model(
+                f.name,
+                FeatherConfig::new(4, 8),
+                &f.graph,
+                f.weights.clone(),
+            )
+            .unwrap();
+    }
+    server.set_tenant_weight("light", 4);
+    server.set_tenant_weight("flood", 1);
+
+    // The flooder keeps a deep backlog of its own model outstanding for the
+    // whole run; the light tenant submits sparse single requests. On a solo
+    // (idle) server a light request costs exactly one formed batch; under
+    // the flood, deficit round-robin must keep its service delay within the
+    // pipeline slack (executing + ready + one fairness round + its own
+    // batch) instead of the flood's whole backlog (~16 batches here under
+    // FIFO).
+    const LIGHT_REQUESTS: usize = 25;
+    const FLOOD_OUTSTANDING: usize = 24;
+    let done = AtomicBool::new(false);
+    let mut batch_deltas = Vec::with_capacity(LIGHT_REQUESTS);
+    std::thread::scope(|scope| {
+        let flooder = {
+            let server = server.clone();
+            let f = flood_model.clone();
+            let done = &done;
+            scope.spawn(move || {
+                let mut outstanding: Vec<Ticket> = Vec::new();
+                let mut i = 0usize;
+                while !done.load(Ordering::Acquire) {
+                    if outstanding.len() >= FLOOD_OUTSTANDING {
+                        outstanding.remove(0).wait().unwrap();
+                    }
+                    let input = i % f.inputs.len();
+                    match server.submit("flood", f.name, f.inputs[input].clone()) {
+                        Ok(ticket) => outstanding.push(ticket),
+                        Err(ServeError::QueueFull { .. }) => {
+                            outstanding.remove(0).wait().unwrap();
+                        }
+                        Err(e) => panic!("flooder hit {e}"),
+                    }
+                    i += 1;
+                }
+                for ticket in outstanding {
+                    ticket.wait().unwrap();
+                }
+            })
+        };
+
+        // Give the flood time to build its backlog before measuring.
+        std::thread::sleep(Duration::from_millis(20));
+        for i in 0..LIGHT_REQUESTS {
+            let input = i % light_model.inputs.len();
+            let before = server.stats().executed_batches();
+            let response = server
+                .submit("light", light_model.name, light_model.inputs[input].clone())
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(response.oacts, light_model.goldens[input]);
+            let after = server.stats().executed_batches();
+            batch_deltas.push(after - before);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        done.store(true, Ordering::Release);
+        flooder.join().unwrap();
+    });
+
+    // Tail bound in formed-batch counts, with slack for the light thread
+    // being descheduled around its stats snapshots: the bulk of requests
+    // must be served within the pipeline slack, and even the worst case
+    // must stay far below the FIFO backlog.
+    batch_deltas.sort_unstable();
+    let p90 = batch_deltas[(batch_deltas.len() * 9 / 10).min(batch_deltas.len() - 1)];
+    let worst = *batch_deltas.last().unwrap();
+    assert!(
+        p90 <= 6,
+        "light tenant's 90th-percentile service delay is {p90} formed batches \
+         ({batch_deltas:?}) — the flood is starving it"
+    );
+    assert!(
+        worst <= 16,
+        "light tenant's worst service delay is {worst} formed batches \
+         ({batch_deltas:?}) — no better than FIFO behind the flood's backlog"
+    );
+
+    let stats = server.stats();
+    assert_eq!(stats.tenants["light"].completed, LIGHT_REQUESTS as u64);
+    assert!(stats.tenants["flood"].completed > 0);
+    assert_eq!(stats.timed_out, 0);
+    assert_eq!(stats.cancelled, 0);
 }
