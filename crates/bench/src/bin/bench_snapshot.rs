@@ -29,13 +29,21 @@
 //!   batching off/on), so the snapshot shows what the pool and the batcher
 //!   each buy.
 //!
+//! Since PR 9 the wall-time scenarios include the lane-vectorized batched
+//! replay backend (`graph_resnet/program_replay_batched8`): the scaled
+//! ResNet-50 program replayed over 8 distinct samples in one pass,
+//! equality-asserted lane-by-lane against scalar replays before timing.
+//!
 //! `--pr N` stamps the snapshot and derives the default output path
-//! `BENCH_N.json` (default: 8, the PR that introduced the executor pool —
-//! pass the current PR number when committing a new snapshot).
+//! `BENCH_N.json` (default: 9, the PR that introduced the batched replay
+//! backend — pass the current PR number when committing a new snapshot).
 //! Environment: `FEATHER_BENCH_ITERS` overrides the measured iteration count
 //! (default 5; the median is reported) and scales the traffic generators'
 //! request counts; `FEATHER_SERVE_WORKERS` sizes the closed-loop sweep's
-//! executor pool (the open-loop grid pins its own).
+//! executor pool (the open-loop grid pins its own);
+//! `FEATHER_SERVE_BATCHED_REPLAY=1` routes the closed-loop sweep's
+//! multi-request batches through the batched backend (how the committed
+//! snapshot is generated).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -123,7 +131,12 @@ fn pipeline_bottleneck(iters: usize) -> Snapshot {
     }
 }
 
-fn graph_resnet(iters: usize) -> (Snapshot, Snapshot) {
+/// Batch size the lane-vectorized replay scenario runs at; per-sample cost
+/// is `wall_ms / REPLAY_LANES` and is what the README's batched-replay
+/// speedup quotes.
+const REPLAY_LANES: usize = 8;
+
+fn graph_resnet(iters: usize) -> (Snapshot, Snapshot, Snapshot) {
     // Identical graph to the `graph_resnet` Criterion bench. Planning
     // (`GraphSession::auto`) and compilation (`compile()`) both happen here,
     // outside the measured loops, so the scenarios isolate execution cost.
@@ -149,6 +162,29 @@ fn graph_resnet(iters: usize) -> (Snapshot, Snapshot) {
         replay.program().route_fires()
     );
 
+    // Batched lane-vectorized replay: the same program executed once across
+    // `REPLAY_LANES` distinct samples, each op dispatched a single time over
+    // all lane stripes. Checked here against per-sample scalar replays — the
+    // backend's contract is bit-identical outputs AND reports per lane — so
+    // the snapshot's speedup number is backed by an equality proof, not
+    // trust. Cycles/DRAM below are totals across the batch (each lane's
+    // modeled counters equal the scalar replay's; the schedule is
+    // data-independent).
+    let samples: Vec<Tensor4<i8>> = (0..REPLAY_LANES)
+        .map(|i| Tensor4::random([1, ch, h, w], 7 + i as u64))
+        .collect();
+    let mut scratch = feather::BatchedScratch::new();
+    let batched = replay
+        .run_batched_with_scratch(&mut scratch, &samples, &weights)
+        .expect("batched replay executes");
+    for (lane, (b, sample)) in batched.iter().zip(&samples).enumerate() {
+        let solo = replay.run(sample, &weights).expect("solo replay executes");
+        assert_eq!(b.oacts, solo.oacts, "batched lane {lane} outputs diverged");
+        assert_eq!(b.report, solo.report, "batched lane {lane} report diverged");
+    }
+    let batched_cycles: u64 = batched.iter().map(|r| r.report.total_cycles()).sum();
+    let batched_dram: u64 = batched.iter().map(|r| r.report.dram_bytes()).sum();
+
     (
         Snapshot {
             name: "graph_resnet/graph_session",
@@ -165,6 +201,16 @@ fn graph_resnet(iters: usize) -> (Snapshot, Snapshot) {
             }),
             cycles: replayed.report.total_cycles(),
             dram_bytes: replayed.report.dram_bytes(),
+        },
+        Snapshot {
+            name: "graph_resnet/program_replay_batched8",
+            wall_ms: median_ms(iters, || {
+                replay
+                    .run_batched_with_scratch(&mut scratch, &samples, &weights)
+                    .expect("batched replay executes");
+            }),
+            cycles: batched_cycles,
+            dram_bytes: batched_dram,
         },
     )
 }
@@ -244,6 +290,12 @@ struct ServingPoint {
     program_misses: u64,
     artifact_hits: u64,
     artifact_misses: u64,
+    /// Whether the point ran with the lane-vectorized batched replay backend
+    /// enabled (`FEATHER_SERVE_BATCHED_REPLAY`).
+    batched_replay: bool,
+    /// Batches that actually took the batched backend (≥ 2 coalesced
+    /// requests with the knob on).
+    batched_replays: u64,
 }
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
@@ -280,10 +332,12 @@ fn serving_sweep(iters: usize) -> Vec<ServingPoint> {
         .iter()
         .map(|&max_batch| {
             // `..from_env()` picks up FEATHER_SERVE_WORKERS (and
-            // ready_depth), so the CI smoke can exercise the executor pool
+            // ready_depth / FEATHER_SERVE_BATCHED_REPLAY), so the CI smoke
+            // can exercise the executor pool and the batched replay backend
             // without a separate sweep; the committed snapshot runs with the
-            // default single worker, keeping the curve comparable across
-            // PRs.
+            // default single worker and `FEATHER_SERVE_BATCHED_REPLAY=1`, so
+            // its multi-request batches go through the lane-vectorized
+            // backend.
             let cfg = ServeConfig {
                 max_batch,
                 queue_depth: 256,
@@ -292,6 +346,7 @@ fn serving_sweep(iters: usize) -> Vec<ServingPoint> {
                 ..ServeConfig::from_env()
             };
             let workers = cfg.workers.max(1);
+            let batched_replay = cfg.batched_replay;
             let server = Arc::new(Server::new(cfg));
             server
                 .register_model("resnet50", config, &graph, weights.clone())
@@ -358,6 +413,23 @@ fn serving_sweep(iters: usize) -> Vec<ServingPoint> {
                 stats.executed_batches(),
                 "every executed batch either replayed or compiled-once"
             );
+            // With the knob on, every multi-request batch must have taken
+            // the lane-vectorized backend — the counter is the proof the
+            // sweep actually measured it.
+            let multi_request_batches: u64 = stats
+                .batches
+                .iter()
+                .filter(|(size, _)| **size >= 2)
+                .map(|(_, count)| count)
+                .sum();
+            if batched_replay {
+                assert_eq!(
+                    stats.batched_replays, multi_request_batches,
+                    "batched backend must serve every multi-request batch"
+                );
+            } else {
+                assert_eq!(stats.batched_replays, 0, "batched backend is off");
+            }
             ServingPoint {
                 max_batch,
                 workers,
@@ -372,6 +444,8 @@ fn serving_sweep(iters: usize) -> Vec<ServingPoint> {
                 program_misses: programs.misses,
                 artifact_hits: programs.artifact_hits,
                 artifact_misses: programs.artifact_misses,
+                batched_replay,
+                batched_replays: stats.batched_replays,
             }
         })
         .collect()
@@ -487,7 +561,7 @@ fn open_loop_sweep(iters: usize) -> Vec<OpenLoopPoint> {
 }
 
 fn main() {
-    let mut pr: u32 = 8;
+    let mut pr: u32 = 9;
     let mut out_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -511,10 +585,13 @@ fn main() {
         .unwrap_or(5);
 
     let mut snapshots = vec![functional_conv(iters), pipeline_bottleneck(iters)];
-    let (interpreted, replay) = graph_resnet(iters);
+    let (interpreted, replay, batched) = graph_resnet(iters);
     let replay_speedup = interpreted.wall_ms / replay.wall_ms.max(1e-9);
+    let batched_per_sample_ms = batched.wall_ms / REPLAY_LANES as f64;
+    let batched_speedup = replay.wall_ms / batched_per_sample_ms.max(1e-9);
     snapshots.push(interpreted);
     snapshots.push(replay);
+    snapshots.push(batched);
     let (serial, parallel) = parallel_pair(iters);
     let shard_speedup = serial.wall_ms / parallel.wall_ms.max(1e-9);
     snapshots.push(serial);
@@ -547,7 +624,8 @@ fn main() {
              \"throughput_rps\": {:.1}, \
              \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"executed_batches\": {}, \
              \"mean_batch\": {:.2}, \"rejected\": {}, \"program_hits\": {}, \
-             \"program_misses\": {}, \"artifact_hits\": {}, \"artifact_misses\": {}}}{}\n",
+             \"program_misses\": {}, \"artifact_hits\": {}, \"artifact_misses\": {}, \
+             \"batched_replay\": {}, \"batched_replays\": {}}}{}\n",
             p.max_batch,
             p.workers,
             p.requests,
@@ -561,6 +639,8 @@ fn main() {
             p.program_misses,
             p.artifact_hits,
             p.artifact_misses,
+            p.batched_replay,
+            p.batched_replays,
             if i + 1 < serving.len() { "," } else { "" }
         ));
     }
@@ -596,17 +676,29 @@ fn main() {
     }
     println!("interpreted → replay speedup: {replay_speedup:.2}x");
     println!(
+        "scalar replay → batched replay per-sample speedup at batch-{REPLAY_LANES}: \
+         {batched_speedup:.2}x ({batched_per_sample_ms:.3} ms/sample)"
+    );
+    println!(
         "serial → sharded speedup: {shard_speedup:.2}x ({} workers on {} host threads)",
         default_threads(),
         default_threads()
     );
     println!(
-        "\n{:<10} {:>9} {:>12} {:>10} {:>10} {:>9} {:>11} {:>11}",
-        "max_batch", "requests", "rps", "p50 ms", "p99 ms", "batches", "mean batch", "compiles"
+        "\n{:<10} {:>9} {:>12} {:>10} {:>10} {:>9} {:>11} {:>11} {:>9}",
+        "max_batch",
+        "requests",
+        "rps",
+        "p50 ms",
+        "p99 ms",
+        "batches",
+        "mean batch",
+        "compiles",
+        "batched"
     );
     for p in &serving {
         println!(
-            "{:<10} {:>9} {:>12.1} {:>10.3} {:>10.3} {:>9} {:>11.2} {:>11}",
+            "{:<10} {:>9} {:>12.1} {:>10.3} {:>10.3} {:>9} {:>11.2} {:>11} {:>9}",
             p.max_batch,
             p.requests,
             p.throughput_rps,
@@ -615,6 +707,7 @@ fn main() {
             p.executed_batches,
             p.mean_batch,
             p.program_misses,
+            p.batched_replays,
         );
     }
     println!(

@@ -40,11 +40,16 @@ use crate::topology::Topology;
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CompiledRoute {
     width: usize,
-    /// Flat list of source input ports, one contiguous span per live output.
+    /// Flat list of source input ports, one contiguous span per multi-source
+    /// output.
     sources: Vec<u32>,
     /// `(output port, start, end)` spans into `sources`, one per output port
-    /// that carries data under this configuration.
+    /// that *sums* two or more inputs under this configuration.
     gathers: Vec<(u32, u32, u32)>,
+    /// `(output port, source port)` pairs for pass-through outputs — ports fed
+    /// by exactly one input, split out at compile time so evaluation moves
+    /// them with a straight copy instead of a degenerate gather loop.
+    copies: Vec<(u32, u32)>,
     /// Number of switches configured to add (precomputed from the config so
     /// the hot loop never re-scans the stage matrix).
     adder_activations: usize,
@@ -96,18 +101,23 @@ impl CompiledRoute {
 
         let mut sources = Vec::new();
         let mut gathers = Vec::new();
+        let mut copies = Vec::new();
         for (port, set) in current.into_iter().enumerate() {
-            if set.is_empty() {
-                continue;
+            match set.as_slice() {
+                [] => {}
+                [src] => copies.push((port as u32, *src)),
+                _ => {
+                    let start = sources.len() as u32;
+                    sources.extend(set);
+                    gathers.push((port as u32, start, sources.len() as u32));
+                }
             }
-            let start = sources.len() as u32;
-            sources.extend(set);
-            gathers.push((port as u32, start, sources.len() as u32));
         }
         Ok(CompiledRoute {
             width,
             sources,
             gathers,
+            copies,
             adder_activations: config.adder_activations(),
         })
     }
@@ -124,7 +134,7 @@ impl CompiledRoute {
 
     /// Number of output ports that carry data under this route.
     pub fn live_outputs(&self) -> usize {
-        self.gathers.len()
+        self.copies.len() + self.gathers.len()
     }
 
     /// Evaluates the program: `outputs[port]` receives the sum of the present
@@ -153,6 +163,9 @@ impl CompiledRoute {
             });
         }
         outputs.fill(None);
+        for &(port, src) in &self.copies {
+            outputs[port as usize] = inputs[src as usize];
+        }
         for &(port, start, end) in &self.gathers {
             let mut sum = 0i64;
             let mut any = false;
@@ -165,6 +178,77 @@ impl CompiledRoute {
             if any {
                 outputs[port as usize] = Some(sum);
             }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the program once across a whole batch of lanes.
+    ///
+    /// `inputs` and `outputs` are port-major lane stripes (`lanes` consecutive
+    /// values per port, so port `p` lane `l` lives at `p * lanes + l`);
+    /// `present` / `out_present` carry the per-port presence that
+    /// [`CompiledRoute::run`]'s `Option`s encode, shared by every lane. This
+    /// is exact for the batched replay backend because presence there is
+    /// data-independent: whether a column carries data depends only on the
+    /// dataflow mapping, never on the values, so all lanes agree on it.
+    ///
+    /// For each lane the result is bit-identical to a scalar [`run`] over that
+    /// lane's inputs: copies move stripes, gathers iterate the source ports
+    /// once and sum the present sources' stripes with no per-lane checks.
+    /// Output stripes of absent ports are zero-filled.
+    ///
+    /// [`run`]: CompiledRoute::run
+    ///
+    /// # Errors
+    /// Returns [`EvalError::WidthMismatch`] if `present`/`out_present` are not
+    /// width-sized or the stripe slices are not `width * lanes` long.
+    #[inline]
+    pub fn run_batched(
+        &self,
+        inputs: &[i64],
+        present: &[bool],
+        lanes: usize,
+        outputs: &mut [i64],
+        out_present: &mut [bool],
+    ) -> Result<(), EvalError> {
+        let lanes = lanes.max(1);
+        for (len, expected) in [
+            (inputs.len(), self.width * lanes),
+            (outputs.len(), self.width * lanes),
+            (present.len(), self.width),
+            (out_present.len(), self.width),
+        ] {
+            if len != expected {
+                return Err(EvalError::WidthMismatch { expected, got: len });
+            }
+        }
+        outputs.fill(0);
+        out_present.fill(false);
+        for &(port, src) in &self.copies {
+            let (port, src) = (port as usize, src as usize);
+            if present[src] {
+                out_present[port] = true;
+                outputs[port * lanes..(port + 1) * lanes]
+                    .copy_from_slice(&inputs[src * lanes..(src + 1) * lanes]);
+            }
+        }
+        for &(port, start, end) in &self.gathers {
+            let port = port as usize;
+            let mut any = false;
+            for &src in &self.sources[start as usize..end as usize] {
+                let src = src as usize;
+                if present[src] {
+                    any = true;
+                    let stripe = &inputs[src * lanes..(src + 1) * lanes];
+                    for (acc, v) in outputs[port * lanes..(port + 1) * lanes]
+                        .iter_mut()
+                        .zip(stripe)
+                    {
+                        *acc += v;
+                    }
+                }
+            }
+            out_present[port] = any;
         }
         Ok(())
     }
@@ -260,6 +344,64 @@ mod tests {
             CompiledRoute::compile(&topology, &bad),
             Err(EvalError::ConfigMismatch)
         );
+    }
+
+    #[test]
+    fn run_batched_matches_per_lane_scalar_runs() {
+        let birrd = Birrd::new(8).unwrap();
+        let cases: Vec<Vec<(Vec<usize>, usize)>> = vec![
+            (0..8).map(|i| (vec![i], 7 - i)).collect(),
+            vec![(vec![0, 1, 2], 0), (vec![3], 1), (vec![4, 5, 6], 2)],
+            vec![((0..8).collect(), 5)],
+        ];
+        for groups in cases {
+            let (_, compiled) = compile_for(&birrd, &groups);
+            for lanes in [1usize, 2, 4] {
+                // Presence shared across lanes; a couple of ports absent.
+                let present: Vec<bool> = (0..8).map(|p| p != 3 && p != 6).collect();
+                let inputs: Vec<i64> = (0..8 * lanes)
+                    .map(|i| (i as i64 + 1) * if i % 2 == 0 { 3 } else { -2 })
+                    .collect();
+                let mut outputs = vec![0i64; 8 * lanes];
+                let mut out_present = vec![false; 8];
+                compiled
+                    .run_batched(&inputs, &present, lanes, &mut outputs, &mut out_present)
+                    .unwrap();
+                for lane in 0..lanes {
+                    let solo_in: Vec<Option<i64>> = (0..8)
+                        .map(|p| present[p].then(|| inputs[p * lanes + lane]))
+                        .collect();
+                    let mut solo_out = vec![None; 8];
+                    compiled.run(&solo_in, &mut solo_out).unwrap();
+                    for p in 0..8 {
+                        assert_eq!(
+                            solo_out[p].is_some(),
+                            out_present[p],
+                            "presence mismatch at port {p} ({groups:?})"
+                        );
+                        assert_eq!(
+                            solo_out[p].unwrap_or(0),
+                            outputs[p * lanes + lane],
+                            "value mismatch at port {p} lane {lane} ({groups:?})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_batched_checks_stripe_lengths() {
+        let birrd = Birrd::new(4).unwrap();
+        let (_, compiled) = compile_for(&birrd, &[(vec![0, 1], 0)]);
+        let mut outputs = vec![0i64; 8];
+        let mut out_present = vec![false; 4];
+        assert!(compiled
+            .run_batched(&[0; 7], &[true; 4], 2, &mut outputs, &mut out_present)
+            .is_err());
+        assert!(compiled
+            .run_batched(&[0; 8], &[true; 3], 2, &mut outputs, &mut out_present)
+            .is_err());
     }
 
     #[test]

@@ -1110,6 +1110,395 @@ fn stage_weights(
     nest.swap_all_weights();
 }
 
+// ---------------------------------------------------------------------------
+// Batched lane-vectorized replay
+//
+// A second interpreter of the same recorded route stream: activations live in
+// lane-striped buffers (one batch sample per lane), every op executes once
+// across all lanes, and all accounting — fires, BIRRD passes, buffer stats,
+// conflict stalls — describes a single sample, exactly as one scalar replay
+// would produce. The control flow below mirrors `run_span` line for line;
+// only the data movement is widened.
+// ---------------------------------------------------------------------------
+
+/// Batched-replay counterpart of [`run_conv_core`]: executes the layer once
+/// across `lanes` batch samples held in the views' lane stripes, replaying a
+/// prerecorded route stream. The returned counters equal a single scalar
+/// replay's (per-sample accounting).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_conv_core_batched(
+    ctx: &LayerExec,
+    weights: &Tensor4<i8>,
+    iact: &mut LayoutView<'_, i32>,
+    oact: &mut LayoutView<'_, i32>,
+    stream: &RouteStream,
+    expose_first_weight_load: bool,
+    threads: Option<usize>,
+    lanes: usize,
+) -> Result<CoreRun, ArchError> {
+    let units_total = ctx.units();
+    let workers = effective_workers(threads, &ctx.layer, units_total);
+    let spans = if workers <= 1 {
+        vec![run_span_batched(
+            ctx,
+            weights,
+            0..units_total,
+            iact,
+            oact,
+            stream,
+            lanes,
+        )?]
+    } else {
+        run_sharded_batched(ctx, weights, workers, iact, oact, stream, lanes)?
+    };
+
+    let timing = NestTiming::new(ctx.rows, ctx.cols, ctx.birrd.latency_cycles());
+    let mut run = CoreRun {
+        cycles: 0,
+        birrd_passes: 0,
+        birrd_adds: 0,
+        macs: 0,
+    };
+    let mut tile_fires = vec![0u64; ctx.m_tiles * ctx.c_tiles];
+    for span in &spans {
+        for (tile, fires) in span.tile_fires.iter().enumerate() {
+            tile_fires[tile] += fires;
+        }
+        run.cycles += span.extra_cycles;
+        run.birrd_passes += span.birrd_passes;
+        run.birrd_adds += span.birrd_adds;
+        run.macs += span.macs;
+    }
+    for (tile, &fires) in tile_fires.iter().enumerate() {
+        let first_tile = tile == 0 && expose_first_weight_load;
+        run.cycles += timing.tile(ctx.rs, fires, ctx.rs, first_tile).total();
+    }
+    Ok(run)
+}
+
+/// Batched counterpart of [`run_sharded`]: the forked worker buffers inherit
+/// the views' lane striping, so each worker runs the batched span on its own
+/// stripe copies and the absorb merges data and per-sample statistics back.
+fn run_sharded_batched(
+    ctx: &LayerExec,
+    weights: &Tensor4<i8>,
+    workers: usize,
+    iact: &mut LayoutView<'_, i32>,
+    oact: &mut LayoutView<'_, i32>,
+    stream: &RouteStream,
+    lanes: usize,
+) -> Result<Vec<SpanAccum>, ArchError> {
+    let units_total = ctx.units();
+    let chunk = units_total.div_ceil(workers);
+    let ranges: Vec<Range<usize>> = (0..workers)
+        .map(|w| (w * chunk)..((w + 1) * chunk).min(units_total))
+        .filter(|r| !r.is_empty())
+        .collect();
+    let idims = ctx.layer.iact_dim_sizes();
+    let odims = ctx.layer.oact_dim_sizes();
+    let ibase = iact.fork_buffer();
+    let obase = oact.fork_buffer();
+
+    type WorkerOut = Result<(SpanAccum, FunctionalBuffer<i32>, FunctionalBuffer<i32>), ArchError>;
+    let outcomes: Vec<WorkerOut> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|units| {
+                let mut ibuf = ibase.fork();
+                let mut obuf = obase.fork();
+                let (idims, odims) = (&idims, &odims);
+                scope.spawn(move || -> WorkerOut {
+                    let accum = {
+                        let mut iview = LayoutView::new(&mut ibuf, &ctx.mapping.iact_layout, idims);
+                        let mut oview = LayoutView::new(&mut obuf, &ctx.mapping.oact_layout, odims);
+                        run_span_batched(
+                            ctx, weights, units, &mut iview, &mut oview, stream, lanes,
+                        )?
+                    };
+                    Ok((accum, ibuf, obuf))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("executor worker panicked"))
+            .collect()
+    });
+
+    let mut spans = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        let (accum, ibuf, obuf) = outcome?;
+        iact.absorb(&ibuf, &ibase);
+        oact.absorb(&obuf, &obase);
+        spans.push(accum);
+    }
+    Ok(spans)
+}
+
+/// Batched counterpart of [`run_span`]: the same tile loop with lane-striped
+/// data movement. Buses, BIRRD inputs and outputs are column-major stripes
+/// (`cols * lanes` flat values plus a `cols`-wide shared presence mask);
+/// buffer traffic goes through the stripe accessors, which account one
+/// sample's accesses.
+#[allow(clippy::too_many_arguments)]
+fn run_span_batched(
+    ctx: &LayerExec,
+    weights: &Tensor4<i8>,
+    units: Range<usize>,
+    iact: &mut LayoutView<'_, i32>,
+    oact: &mut LayoutView<'_, i32>,
+    stream: &RouteStream,
+    lanes: usize,
+) -> Result<SpanAccum, ArchError> {
+    let cols = ctx.cols;
+    let layer = &ctx.layer;
+    let mut nest = NestArray::with_lanes(ctx.rows, cols, lanes);
+    let mut accum = SpanAccum {
+        tile_fires: vec![0; ctx.m_tiles * ctx.c_tiles],
+        extra_cycles: 0,
+        birrd_passes: 0,
+        birrd_adds: 0,
+        macs: 0,
+    };
+
+    let mut w_scratch = vec![0i8; ctx.rs];
+    let mut mapped_table = vec![false; ctx.q_tiles * ctx.m_rows * cols];
+    let mut bus: Vec<i32> = vec![0; cols * lanes];
+    let mut inputs: Vec<i64> = vec![0; cols * lanes];
+    let mut outputs: Vec<i64> = vec![0; cols * lanes];
+    let mut in_present: Vec<bool> = vec![false; cols];
+    let mut out_present: Vec<bool> = vec![false; cols];
+    let mut lane_vals: Vec<i8> = vec![0; lanes];
+    let mut acc_scratch: Vec<i32> = vec![0; lanes];
+    let mut groups: Vec<FireGroup> = Vec::with_capacity(ctx.q_cols);
+    let mut batch: Vec<FireGroup> = Vec::with_capacity(ctx.q_cols);
+    let mut pending: Vec<FireGroup> = Vec::with_capacity(ctx.q_cols);
+    let mut bank_used = vec![false; cols];
+
+    let n_total = layer.n;
+    let mut unit = units.start;
+    while unit < units.end {
+        let wt_m = unit / n_total;
+        let n_range = (unit % n_total)..(units.end - wt_m * n_total).min(n_total);
+        unit = wt_m * n_total + n_range.end;
+
+        for wt_c in 0..ctx.c_tiles {
+            stage_weights(ctx, weights, &mut nest, wt_m, wt_c, &mut w_scratch);
+            let tile = wt_m * ctx.c_tiles + wt_c;
+            for qt in 0..ctx.q_tiles {
+                for m_lane in 0..ctx.m_rows {
+                    let m = wt_m * ctx.m_rows + m_lane;
+                    let row = &mut mapped_table[(qt * ctx.m_rows + m_lane) * cols..][..cols];
+                    for (col, slot) in row.iter_mut().enumerate() {
+                        let q_lane = col / ctx.c_cols;
+                        let q = qt * ctx.q_cols + q_lane;
+                        let c = if ctx.depthwise {
+                            m
+                        } else {
+                            wt_c * ctx.c_cols + col % ctx.c_cols
+                        };
+                        *slot =
+                            q_lane < ctx.q_cols && q < ctx.q_total && m < layer.m && c < layer.c;
+                    }
+                }
+            }
+
+            for n in n_range.clone() {
+                let mut pos = stream.block_starts[tile * n_total + n] as usize;
+                for p in 0..ctx.p_total {
+                    for qt in 0..ctx.q_tiles {
+                        // ---- Phase 1: local temporal reduction ----
+                        for rs_step in 0..ctx.rs {
+                            let r_i = rs_step / layer.s;
+                            let s_i = rs_step % layer.s;
+                            let h = ctx.h_table[p * layer.r + r_i];
+                            iact.begin_cycle();
+                            if let Some(h) = h {
+                                phase1_step_batched(
+                                    ctx,
+                                    &mut nest,
+                                    iact,
+                                    &mut lane_vals,
+                                    wt_m,
+                                    wt_c,
+                                    n,
+                                    h,
+                                    s_i,
+                                    qt,
+                                    rs_step,
+                                );
+                            }
+                            iact.flush_cycle();
+                        }
+
+                        // ---- Phase 2: row fires through BIRRD (RIR) ----
+                        for m_lane in 0..ctx.m_rows {
+                            let m = wt_m * ctx.m_rows + m_lane;
+                            let mapped = &mapped_table[(qt * ctx.m_rows + m_lane) * cols..][..cols];
+                            nest.fire_row_stripe(m_lane, mapped, &mut bus);
+                            accum.tile_fires[tile] += 1;
+                            if m >= layer.m {
+                                continue;
+                            }
+
+                            groups.clear();
+                            for q_lane in 0..ctx.q_cols {
+                                let q = qt * ctx.q_cols + q_lane;
+                                if q >= ctx.q_total {
+                                    continue;
+                                }
+                                let lane = q_lane * ctx.c_cols;
+                                if !mapped[lane..lane + ctx.c_cols].iter().any(|&b| b) {
+                                    continue;
+                                }
+                                let loc = ctx.oact_plan.location([n, m, p, q]);
+                                groups.push(FireGroup {
+                                    q_lane,
+                                    bank: loc.offset % cols,
+                                    loc,
+                                });
+                            }
+
+                            while !groups.is_empty() {
+                                batch.clear();
+                                pending.clear();
+                                bank_used.fill(false);
+                                for g in groups.drain(..) {
+                                    if !bank_used[g.bank] {
+                                        bank_used[g.bank] = true;
+                                        batch.push(g);
+                                    } else {
+                                        pending.push(g);
+                                    }
+                                }
+                                std::mem::swap(&mut groups, &mut pending);
+
+                                let slot = stream.stream[pos] as usize;
+                                pos += 1;
+                                let route: &CompiledRoute = &stream.slots[slot];
+
+                                in_present.fill(false);
+                                for g in &batch {
+                                    let lane = g.q_lane * ctx.c_cols;
+                                    for col in lane..lane + ctx.c_cols {
+                                        if mapped[col] {
+                                            in_present[col] = true;
+                                            for l in 0..lanes {
+                                                inputs[col * lanes + l] =
+                                                    bus[col * lanes + l] as i64;
+                                            }
+                                        }
+                                    }
+                                }
+                                route
+                                    .run_batched(
+                                        &inputs,
+                                        &in_present,
+                                        lanes,
+                                        &mut outputs,
+                                        &mut out_present,
+                                    )
+                                    .expect("compiled route matches the network width");
+                                accum.birrd_passes += 1;
+                                accum.birrd_adds += route.adder_activations() as u64;
+
+                                oact.begin_cycle();
+                                for g in &batch {
+                                    // In-situ accumulation across channel
+                                    // tiles, all lanes at once; absent BIRRD
+                                    // outputs contribute zero, exactly like
+                                    // the scalar path's `unwrap_or(0)`.
+                                    for (l, acc) in acc_scratch.iter_mut().enumerate() {
+                                        let value = if out_present[g.bank] {
+                                            outputs[g.bank * lanes + l] as i32
+                                        } else {
+                                            0
+                                        };
+                                        let prev = oact.peek_stripe_at(g.loc)[l].unwrap_or(0);
+                                        *acc = prev + value;
+                                    }
+                                    for (slot, acc) in
+                                        oact.write_stripe_at(g.loc).iter_mut().zip(&acc_scratch)
+                                    {
+                                        *slot = Some(*acc);
+                                    }
+                                }
+                                oact.flush_cycle();
+                                if !groups.is_empty() {
+                                    accum.extra_cycles += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    accum.macs = nest.total_macs();
+    Ok(accum)
+}
+
+/// Batched counterpart of [`phase1_step`]: one accounted stripe read per iAct
+/// cell, broadcast to every mapped PE row across all lanes.
+#[allow(clippy::too_many_arguments)]
+fn phase1_step_batched(
+    ctx: &LayerExec,
+    nest: &mut NestArray,
+    iact: &mut LayoutView<'_, i32>,
+    lane_vals: &mut [i8],
+    wt_m: usize,
+    wt_c: usize,
+    n: usize,
+    h: usize,
+    s_i: usize,
+    qt: usize,
+    rs_step: usize,
+) {
+    let layer = &ctx.layer;
+    let m_base = wt_m * ctx.m_rows;
+    if m_base >= layer.m {
+        return;
+    }
+    let m_lanes = ctx.m_rows.min(layer.m - m_base);
+    for q_lane in 0..ctx.q_cols {
+        let q = qt * ctx.q_cols + q_lane;
+        if q >= ctx.q_total {
+            continue;
+        }
+        let Some(w) = ctx.w_table[q * layer.s + s_i] else {
+            continue;
+        };
+        for c_lane in 0..ctx.c_cols {
+            let col = q_lane * ctx.c_cols + c_lane;
+            if ctx.depthwise {
+                for m_lane in 0..m_lanes {
+                    let c = m_base + m_lane;
+                    if c >= layer.c {
+                        continue;
+                    }
+                    let stripe = iact.read_stripe_at(ctx.iact_plan.location([n, c, h, w]));
+                    for (v, cell) in lane_vals.iter_mut().zip(stripe) {
+                        *v = cell.unwrap_or(0) as i8;
+                    }
+                    nest.mac_stripe(m_lane, col, lane_vals, rs_step);
+                }
+            } else {
+                let c = wt_c * ctx.c_cols + c_lane;
+                if c >= layer.c {
+                    continue;
+                }
+                let stripe = iact.read_stripe_at(ctx.iact_plan.location([n, c, h, w]));
+                for (v, cell) in lane_vals.iter_mut().zip(stripe) {
+                    *v = cell.unwrap_or(0) as i8;
+                }
+                for m_lane in 0..m_lanes {
+                    nest.mac_stripe(m_lane, col, lane_vals, rs_step);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -51,7 +51,9 @@ use feather_memsim::{BufferSpec, LayoutView, PingPong, ScratchRegion};
 
 use crate::accelerator::check_weight_shape;
 use crate::config::FeatherConfig;
-use crate::core::{run_conv_core, LayerExec, RouteExecution, RouteRecorder, RouteStream};
+use crate::core::{
+    run_conv_core, run_conv_core_batched, LayerExec, RouteExecution, RouteRecorder, RouteStream,
+};
 use crate::graph_session::{pool_window_weights, widen, GraphSession, Step};
 use crate::mapping::LayerMapping;
 use crate::report::{
@@ -567,6 +569,39 @@ impl ReplayScratch {
     }
 }
 
+/// Reusable allocations for [`ProgramSession::run_batched_with_scratch`]:
+/// the lane-striped StaB pairs of the batched replay backend. Works exactly
+/// like [`ReplayScratch`] but keys the stash on the lane count too — a pair
+/// striped for 4 lanes cannot serve an 8-lane run, so a mismatch drops the
+/// stash and the next run regrows it.
+#[derive(Debug, Default)]
+pub struct BatchedScratch {
+    /// `(fingerprint, batch, lanes)` of the last run through this scratch.
+    shaped_for: Option<(u64, usize, usize)>,
+    /// One parked lane-striped StaB pair per program segment.
+    stabs: Vec<Option<PingPong<i32>>>,
+}
+
+impl BatchedScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        BatchedScratch::default()
+    }
+
+    /// Re-targets the stash at `(program, lanes)`, dropping buffers from any
+    /// other shape.
+    fn retarget(&mut self, program: &Program, lanes: usize) {
+        let key = (program.fingerprint, program.batch, lanes);
+        if self.shaped_for != Some(key) {
+            self.shaped_for = Some(key);
+            self.stabs.clear();
+        }
+        if self.stabs.len() != program.segments.len() {
+            self.stabs.resize_with(program.segments.len(), || None);
+        }
+    }
+}
+
 /// The graph-DAG replay executor: dispatches a compiled [`Program`]'s op
 /// stream linearly. Cheap to clone (the program is shared through an `Arc`);
 /// safe to use from multiple threads via `&self`.
@@ -871,6 +906,362 @@ impl ProgramSession {
                 scratch_peak_elems: scratch.peak_occupancy() as u64,
             },
         })
+    }
+
+    /// Replays the program once per input sample, executing every op a single
+    /// time across all samples in lane-vectorized lockstep — the batched
+    /// replay backend. Activations live in lane stripes (sample `l` occupies
+    /// lane `l` of every StaB cell), each BIRRD route gathers whole stripes,
+    /// and every piece of cycle/conflict/traffic accounting runs **once**:
+    /// the schedule, routes and access patterns are data-independent, so one
+    /// sample's accounting is every sample's accounting. The returned runs —
+    /// outputs *and* full reports — are bit-identical to calling
+    /// [`ProgramSession::run`] on each sample alone (the per-lane
+    /// [`JoinSummary`] saturation flags are the only data-dependent bits and
+    /// are computed per lane).
+    ///
+    /// # Errors
+    /// Returns an error on an empty batch, a sample shape mismatch, or
+    /// missing weights.
+    pub fn run_batched(
+        &self,
+        iacts: &[Tensor4<i8>],
+        weights: &BTreeMap<NodeId, Tensor4<i8>>,
+    ) -> Result<Vec<GraphRun>, ArchError> {
+        self.run_batched_with_scratch(&mut BatchedScratch::new(), iacts, weights)
+    }
+
+    /// [`ProgramSession::run_batched`] reusing `scratch`'s lane-striped StaB
+    /// allocations across calls, the batched analogue of
+    /// [`ProgramSession::run_with_scratch`]: a serving executor's steady
+    /// state allocates no buffer memory per batch. Results are bit-identical
+    /// to [`ProgramSession::run_batched`] with a fresh scratch.
+    ///
+    /// # Errors
+    /// Returns an error on an empty batch, a sample shape mismatch, or
+    /// missing weights.
+    pub fn run_batched_with_scratch(
+        &self,
+        scratch_bufs: &mut BatchedScratch,
+        iacts: &[Tensor4<i8>],
+        weights: &BTreeMap<NodeId, Tensor4<i8>>,
+    ) -> Result<Vec<GraphRun>, ArchError> {
+        let p = &*self.program;
+        let lanes = iacts.len();
+        if lanes == 0 {
+            return Err(ArchError::InvalidWorkload(
+                "batched replay needs at least one sample".to_string(),
+            ));
+        }
+        for sample in iacts {
+            if sample.shape() != p.input_shape {
+                return Err(ArchError::ShapeMismatch(format!(
+                    "graph input shape {:?}, expected {:?}",
+                    sample.shape(),
+                    p.input_shape
+                )));
+            }
+        }
+        scratch_bufs.retarget(p, lanes);
+        let threads = self.threads.or(p.threads);
+
+        // Parked tensors hold `lanes` concatenated per-lane copies; the lane
+        // factor divides the region's accounting and occupancy back to one
+        // sample's numbers — exactly what every lane's report clones.
+        let mut scratch: ScratchRegion<i8> =
+            ScratchRegion::with_lane_factor(p.config.cols.max(1), lanes);
+        let mut fresh: Option<(usize, Vec<Tensor4<i8>>)> = Some((p.input_slot, iacts.to_vec()));
+        let mut displaced: Option<(usize, Vec<Tensor4<i8>>)> = None;
+        let mut queue: VecDeque<Vec<Tensor4<i8>>> = VecDeque::new();
+        // Segment reports are identical across lanes (all accounting is
+        // data-independent); join saturation is per lane.
+        let mut segment_reports: Vec<SegmentSummary> = Vec::with_capacity(p.segments.len());
+        let mut join_reports: Vec<Vec<JoinSummary>> =
+            vec![Vec::with_capacity(p.joins.len()); lanes];
+        let mut final_acc: Option<Vec<Tensor4<i32>>> = None;
+
+        // In-flight segment state between its Stage and Drain ops.
+        let mut stab: Option<PingPong<i32>> = None;
+        let mut summaries: Vec<LayerSummary> = Vec::new();
+        let mut input_from_scratch = false;
+
+        let broken = |what: &str| {
+            ArchError::InvalidWorkload(format!("compiled program is inconsistent: {what}"))
+        };
+
+        for op in &p.ops {
+            match *op {
+                Op::Unpark { tensor, free } => {
+                    let slot = &p.tensors[tensor];
+                    let missing = || {
+                        ArchError::InvalidWorkload(format!(
+                            "tensor t{} consumed before being produced or after being freed",
+                            slot.id
+                        ))
+                    };
+                    let data = if free {
+                        scratch.fetch(&slot.key).ok_or_else(missing)?;
+                        scratch.release(&slot.key).expect("fetched above")
+                    } else {
+                        scratch.fetch(&slot.key).ok_or_else(missing)?.to_vec()
+                    };
+                    let per_lane = data.len() / lanes;
+                    let tensors = data
+                        .chunks_exact(per_lane)
+                        .map(|chunk| Tensor4::from_vec(slot.shape, chunk.to_vec()))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    queue.push_back(tensors);
+                }
+                Op::Stage {
+                    seg,
+                    fresh: from_fresh,
+                    take,
+                } => {
+                    let input = if from_fresh {
+                        if take {
+                            fresh
+                                .take()
+                                .ok_or_else(|| broken("fresh operand missing"))?
+                                .1
+                        } else {
+                            fresh
+                                .as_ref()
+                                .ok_or_else(|| broken("fresh operand missing"))?
+                                .1
+                                .clone()
+                        }
+                    } else {
+                        queue
+                            .pop_front()
+                            .ok_or_else(|| broken("unpark queue is empty"))?
+                    };
+                    input_from_scratch = !from_fresh;
+                    let cs = &p.segments[seg];
+                    let first = &cs.layers[0];
+                    let l = &first.exec.layer;
+                    let expected = [l.n, l.c, l.h, l.w];
+                    if input[0].shape() != expected {
+                        return Err(ArchError::ShapeMismatch(format!(
+                            "iacts shape {:?}, expected {:?}",
+                            input[0].shape(),
+                            expected
+                        )));
+                    }
+                    let mut pp: PingPong<i32> = match scratch_bufs.stabs[seg].take() {
+                        Some(mut parked) => {
+                            parked.reset(first.iact_spec);
+                            parked
+                        }
+                        None => PingPong::with_lanes(first.iact_spec, lanes),
+                    };
+                    {
+                        let (active, _) = pp.split_mut();
+                        let mut view =
+                            LayoutView::new(active, &first.exec.mapping.iact_layout, &first.idims);
+                        // Lane 0 drives the coordinate walk; the other lanes
+                        // follow by flat index (`for_each` visits coordinates
+                        // in the row-major order `as_slice` stores).
+                        let rest: Vec<&[i8]> = input.iter().skip(1).map(|t| t.as_slice()).collect();
+                        let mut flat = 0usize;
+                        input[0].for_each(|coord, v| {
+                            let stripe = view.write_stripe_at(first.iact_plan.location(coord));
+                            stripe[0] = Some(v as i32);
+                            for (lane, data) in rest.iter().enumerate() {
+                                stripe[lane + 1] = Some(data[flat] as i32);
+                            }
+                            flat += 1;
+                        });
+                        view.flush_cycle();
+                    }
+                    stab = Some(pp);
+                    summaries = Vec::with_capacity(cs.layers.len());
+                }
+                Op::Fire { seg, layer } => {
+                    let cs = &p.segments[seg];
+                    let cl = &cs.layers[layer];
+                    let lw: &Tensor4<i8> = match &cl.weight {
+                        WeightSource::Pool(w) => w,
+                        WeightSource::Node(id) => weights.get(id).ok_or_else(|| {
+                            ArchError::InvalidWorkload(format!(
+                                "no weight tensor supplied for node `{}`",
+                                cs.names[layer]
+                            ))
+                        })?,
+                    };
+                    check_weight_shape(&cl.exec.layer, lw)?;
+                    let pp = stab.as_mut().ok_or_else(|| broken("fire before stage"))?;
+                    pp.shadow().reshape(cl.oact_spec);
+                    if layer > 0 {
+                        pp.active().rebank(cl.iact_spec);
+                    }
+                    let iact_base = *pp.active_ref().stats();
+                    let oact_base = *pp.shadow_ref().stats();
+                    let core = {
+                        let (active, shadow) = pp.split_mut();
+                        let mut iact_view =
+                            LayoutView::new(active, &cl.exec.mapping.iact_layout, &cl.idims);
+                        let mut oact_view =
+                            LayoutView::new(shadow, &cl.exec.mapping.oact_layout, &cl.odims);
+                        run_conv_core_batched(
+                            &cl.exec,
+                            lw,
+                            &mut iact_view,
+                            &mut oact_view,
+                            &cl.routes,
+                            layer == 0,
+                            threads,
+                            lanes,
+                        )?
+                    };
+                    let iact_stats = pp.active_ref().stats().since(&iact_base);
+                    let oact_stats = pp.shadow_ref().stats().since(&oact_base);
+                    summaries.push(layer_summary(
+                        &p.config,
+                        &p.energy_model,
+                        &cl.exec.layer,
+                        &core,
+                        iact_stats,
+                        oact_stats,
+                        layer == 0,
+                        layer + 1 == cs.layers.len(),
+                    ));
+                }
+                Op::Reorder { seg, layer } => {
+                    let cl = &p.segments[seg].layers[layer];
+                    let pp = stab
+                        .as_mut()
+                        .ok_or_else(|| broken("reorder before stage"))?;
+                    let shadow = pp.shadow();
+                    let mut view = LayoutView::new(shadow, &cl.exec.mapping.oact_layout, &cl.odims);
+                    let (shift, zero) = (p.quant_shift, p.quant_zero);
+                    for_each_oact(&cl.exec.layer, |coord| {
+                        let stripe = view.poke_stripe_at(cl.oact_plan.location(coord));
+                        for cell in stripe.iter_mut() {
+                            let acc = cell.unwrap_or(0);
+                            *cell = Some(quantize_value(acc, shift, zero) as i32);
+                        }
+                    });
+                }
+                Op::Swap { .. } => {
+                    stab.as_mut()
+                        .ok_or_else(|| broken("swap before stage"))?
+                        .swap();
+                }
+                Op::Drain { seg } => {
+                    let cs = &p.segments[seg];
+                    let last = cs.layers.last().expect("segments are non-empty");
+                    let mut pp = stab.take().ok_or_else(|| broken("drain before stage"))?;
+                    let oacts: Vec<Tensor4<i32>> = {
+                        let (active, _) = pp.split_mut();
+                        let view =
+                            LayoutView::new(active, &last.exec.mapping.oact_layout, &last.odims);
+                        let l = &last.exec.layer;
+                        (0..lanes)
+                            .map(|lane| {
+                                Tensor4::from_fn(
+                                    [l.n, l.m, l.output_height(), l.output_width()],
+                                    |n, m, ph, q| {
+                                        view.peek_stripe_at(last.oact_plan.location([n, m, ph, q]))
+                                            [lane]
+                                            .unwrap_or(0)
+                                    },
+                                )
+                            })
+                            .collect()
+                    };
+                    let mut report = NetworkReport {
+                        layers: std::mem::take(&mut summaries),
+                        stab_swaps: pp.swaps(),
+                    };
+                    scratch_bufs.stabs[seg] = Some(pp);
+                    adjust_report(&mut report, cs, &p.energy_model);
+                    segment_reports.push(SegmentSummary {
+                        nodes: cs.names.clone(),
+                        report,
+                        input_from_scratch,
+                    });
+                    if cs.graph_output {
+                        final_acc = Some(oacts.clone());
+                    }
+                    let quantized: Vec<Tensor4<i8>> = oacts
+                        .iter()
+                        .map(|o| quantize_to_i8(o, p.quant_shift, p.quant_zero))
+                        .collect();
+                    displaced = fresh.take();
+                    fresh = Some((cs.output, quantized));
+                }
+                Op::Join { join } => {
+                    let spec = &p.joins[join];
+                    let a = take_operand_lanes(spec.a, &mut fresh, &mut queue, &broken)?;
+                    let b = take_operand_lanes(spec.b, &mut fresh, &mut queue, &broken)?;
+                    let mut sums: Vec<Tensor4<i8>> = Vec::with_capacity(lanes);
+                    for (lane, (la, lb)) in a.iter().zip(&b).enumerate() {
+                        let (sum, saturated) = saturating_add_i8(la, lb)?;
+                        join_reports[lane].push(JoinSummary {
+                            name: spec.name.clone(),
+                            elements: sum.len() as u64,
+                            saturated,
+                        });
+                        sums.push(sum);
+                    }
+                    if spec.graph_output {
+                        final_acc = Some(sums.iter().map(widen).collect());
+                    }
+                    displaced = fresh.take();
+                    fresh = Some((spec.output, sums));
+                }
+                Op::Park { tensor } => {
+                    let (_, data) = displaced
+                        .take()
+                        .ok_or_else(|| broken("park without a displaced tensor"))?;
+                    let mut flat: Vec<i8> = Vec::with_capacity(data.len() * data[0].len());
+                    for lane in &data {
+                        flat.extend_from_slice(lane.as_slice());
+                    }
+                    scratch.park(p.tensors[tensor].key.clone(), flat);
+                }
+            }
+        }
+
+        let final_acc = final_acc.ok_or_else(|| broken("no op produced the graph output"))?;
+        let scratch_stats = *scratch.stats();
+        let scratch_peak = scratch.peak_occupancy() as u64;
+        Ok(final_acc
+            .into_iter()
+            .enumerate()
+            .map(|(lane, oacts)| GraphRun {
+                oacts,
+                report: GraphReport {
+                    segments: segment_reports.clone(),
+                    joins: std::mem::take(&mut join_reports[lane]),
+                    scratch: scratch_stats,
+                    scratch_peak_elems: scratch_peak,
+                },
+            })
+            .collect())
+    }
+}
+
+/// [`take_operand`] for the batched executor: one tensor per lane.
+fn take_operand_lanes(
+    src: OperandSrc,
+    fresh: &mut Option<(usize, Vec<Tensor4<i8>>)>,
+    queue: &mut VecDeque<Vec<Tensor4<i8>>>,
+    broken: &impl Fn(&str) -> ArchError,
+) -> Result<Vec<Tensor4<i8>>, ArchError> {
+    match src {
+        OperandSrc::Fresh { take: true } => Ok(fresh
+            .take()
+            .ok_or_else(|| broken("fresh operand missing"))?
+            .1),
+        OperandSrc::Fresh { take: false } => Ok(fresh
+            .as_ref()
+            .ok_or_else(|| broken("fresh operand missing"))?
+            .1
+            .clone()),
+        OperandSrc::Queue => queue
+            .pop_front()
+            .ok_or_else(|| broken("unpark queue is empty")),
     }
 }
 
@@ -1842,6 +2233,49 @@ mod tests {
             .unwrap();
         assert_eq!(reused3.oacts, fresh3.oacts);
         assert_eq!(reused3.report, fresh3.report);
+    }
+
+    #[test]
+    fn batched_replay_is_bit_identical_to_solo_replays() {
+        let g = residual_graph();
+        let session = GraphSession::auto(FeatherConfig::new(4, 8), &g).unwrap();
+        let weights = g.random_weights(82);
+        let replay = ProgramSession::new(session.compile().unwrap());
+        let samples: Vec<Tensor4<i8>> = (0..4u64)
+            .map(|seed| Tensor4::random([1, 4, 6, 6], 80 + seed))
+            .collect();
+
+        let mut scratch = BatchedScratch::new();
+        for lanes in [1usize, 2, 4] {
+            let batch = &samples[..lanes];
+            let fresh = replay.run_batched(batch, &weights).unwrap();
+            let reused = replay
+                .run_batched_with_scratch(&mut scratch, batch, &weights)
+                .unwrap();
+            assert_eq!(fresh.len(), lanes);
+            for (lane, sample) in batch.iter().enumerate() {
+                let solo = replay.run(sample, &weights).unwrap();
+                assert_eq!(fresh[lane].oacts, solo.oacts, "lane {lane} outputs");
+                assert_eq!(fresh[lane].report, solo.report, "lane {lane} report");
+                assert_eq!(reused[lane].oacts, solo.oacts, "lane {lane} reused outputs");
+                assert_eq!(
+                    reused[lane].report, solo.report,
+                    "lane {lane} reused report"
+                );
+            }
+        }
+        // Sharded batched replay stays exact too.
+        let sharded = replay
+            .clone()
+            .with_threads(3)
+            .run_batched(&samples, &weights)
+            .unwrap();
+        for (lane, sample) in samples.iter().enumerate() {
+            let solo = replay.run(sample, &weights).unwrap();
+            assert_eq!(sharded[lane].oacts, solo.oacts, "lane {lane} sharded");
+            assert_eq!(sharded[lane].report, solo.report, "lane {lane} sharded");
+        }
+        assert!(replay.run_batched(&[], &weights).is_err());
     }
 
     #[test]

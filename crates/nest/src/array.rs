@@ -26,6 +26,13 @@ pub struct NestArray {
     cols: usize,
     pes: Vec<ProcessingElement>,
     fires: u64,
+    lanes: usize,
+    /// Per-PE lane-striped accumulators for the batched replay backend: the
+    /// stripe of PE `(row, col)` lives at `index(row, col) * lanes ..`. One
+    /// lane carries one batch sample; the PEs' own accumulators and activity
+    /// counters keep describing a single sample, so the scalar accounting is
+    /// untouched.
+    lane_accs: Vec<i32>,
 }
 
 impl NestArray {
@@ -34,16 +41,33 @@ impl NestArray {
     /// # Panics
     /// Panics if either dimension is zero.
     pub fn new(rows: usize, cols: usize) -> Self {
+        NestArray::with_lanes(rows, cols, 1)
+    }
+
+    /// Creates an array whose PEs carry `lanes` batched accumulator lanes
+    /// (see [`NestArray::mac_stripe`]). `lanes` is clamped to at least 1.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn with_lanes(rows: usize, cols: usize, lanes: usize) -> Self {
         assert!(
             rows > 0 && cols > 0,
             "NEST array dimensions must be non-zero"
         );
+        let lanes = lanes.max(1);
         NestArray {
             rows,
             cols,
             pes: vec![ProcessingElement::new(); rows * cols],
             fires: 0,
+            lanes,
+            lane_accs: vec![0; rows * cols * lanes],
         }
+    }
+
+    /// Number of batched accumulator lanes per PE.
+    pub fn lanes(&self) -> usize {
+        self.lanes
     }
 
     /// Number of PE rows (AH).
@@ -102,6 +126,29 @@ impl NestArray {
         self.pe_mut(row, col).mac(iact, weight_index);
     }
 
+    /// Performs one Phase-1 MAC across all lanes of a PE: the weight is read
+    /// once, every lane's input activation multiplies against it into that
+    /// lane's accumulator, and the PE's `mac_count` advances by **one** — the
+    /// activity of a single sample, which is what each lane's report clones.
+    ///
+    /// # Panics
+    /// Panics if `weight_index` is out of range of the active weights or
+    /// `iacts` is not one value per lane.
+    #[inline]
+    pub fn mac_stripe(&mut self, row: usize, col: usize, iacts: &[i8], weight_index: usize) {
+        assert_eq!(iacts.len(), self.lanes, "one iAct per lane");
+        let idx = self.index(row, col);
+        let w = self.pes[idx].active_weights()[weight_index] as i32;
+        self.pes[idx].mac_count += 1;
+        let base = idx * self.lanes;
+        for (acc, &iact) in self.lane_accs[base..base + self.lanes]
+            .iter_mut()
+            .zip(iacts)
+        {
+            *acc += iact as i32 * w;
+        }
+    }
+
     /// Fires one row: drains the accumulators of every PE in the row onto the
     /// column buses (Phase 2). `mapped` marks which columns actually carry
     /// data under the current dataflow; unmapped columns yield `None`.
@@ -129,6 +176,37 @@ impl NestArray {
             // the next tile, but put nothing on the bus.
             let value = self.pe_mut(row, col).fire();
             *slot = if mapped[col] { Some(value) } else { None };
+        }
+        self.fires += 1;
+    }
+
+    /// [`NestArray::fire_row_into`] across all lanes: drains every column's
+    /// lane-striped accumulators of `row` onto the bus (column-major stripes,
+    /// so column `c` lane `l` lands at `bus[c * lanes + l]`). Unmapped
+    /// columns drain too — stale partial sums never leak into the next tile —
+    /// but the caller's `mapped` mask governs which stripes carry data, the
+    /// batched analogue of the scalar path's `None` bus slots. Counts one
+    /// fire, matching a single sample's activity.
+    ///
+    /// # Panics
+    /// Panics if `mapped` is not one entry per column or `bus` is not
+    /// `cols * lanes` long.
+    #[inline]
+    pub fn fire_row_stripe(&mut self, row: usize, mapped: &[bool], bus: &mut [i32]) {
+        assert_eq!(
+            mapped.len(),
+            self.cols,
+            "mapped mask must have one entry per column"
+        );
+        assert_eq!(
+            bus.len(),
+            self.cols * self.lanes,
+            "bus must have one stripe per column"
+        );
+        let row_base = self.index(row, 0) * self.lanes;
+        let row_accs = &mut self.lane_accs[row_base..row_base + self.cols * self.lanes];
+        for (slot, acc) in bus.iter_mut().zip(row_accs.iter_mut()) {
+            *slot = std::mem::take(acc);
         }
         self.fires += 1;
     }
@@ -182,6 +260,51 @@ mod tests {
         // Accumulators cleared, including the unmapped column.
         assert_eq!(arr.pe(0, 2).peek(), 0);
         assert_eq!(arr.fires(), 1);
+    }
+
+    #[test]
+    fn lane_striped_mac_and_fire_match_scalar_per_lane() {
+        let lanes = 3usize;
+        let mut batched = NestArray::with_lanes(1, 4, lanes);
+        let mut solos: Vec<NestArray> = (0..lanes).map(|_| NestArray::new(1, 4)).collect();
+        for col in 0..4 {
+            let w = [col as i8 + 1, -(col as i8) - 2];
+            batched.load_weights(0, col, &w);
+            for solo in &mut solos {
+                solo.load_weights(0, col, &w);
+            }
+        }
+        batched.swap_all_weights();
+        solos.iter_mut().for_each(NestArray::swap_all_weights);
+        for col in 0..4 {
+            for widx in 0..2 {
+                let iacts: Vec<i8> = (0..lanes)
+                    .map(|lane| (lane as i8 + 1) * (col as i8 - 1))
+                    .collect();
+                batched.mac_stripe(0, col, &iacts, widx);
+                for (solo, &iact) in solos.iter_mut().zip(&iacts) {
+                    solo.mac(0, col, iact, widx);
+                }
+            }
+        }
+        // Activity counters describe one sample.
+        assert_eq!(batched.total_macs(), solos[0].total_macs());
+        let mapped = [true, false, true, true];
+        let mut bus = vec![0i32; 4 * lanes];
+        batched.fire_row_stripe(0, &mapped, &mut bus);
+        assert_eq!(batched.fires(), 1);
+        for (lane, solo) in solos.iter_mut().enumerate() {
+            let fire = solo.fire_row(0, &mapped);
+            for col in 0..4 {
+                if mapped[col] {
+                    assert_eq!(bus[col * lanes + lane], fire.values[col].unwrap());
+                }
+            }
+        }
+        // Accumulators drained, mapped or not.
+        let mut again = vec![0i32; 4 * lanes];
+        batched.fire_row_stripe(0, &mapped, &mut again);
+        assert!(again.iter().all(|&v| v == 0));
     }
 
     #[test]

@@ -38,7 +38,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use feather::{
-    ArtifactStatus, FeatherConfig, GraphSession, ProgramSession, ReplayScratch, RouteCacheStats,
+    ArtifactStatus, BatchedScratch, FeatherConfig, GraphSession, ProgramSession, ReplayScratch,
+    RouteCacheStats,
 };
 use feather_arch::graph::{Graph, NodeId};
 use feather_arch::tensor::Tensor4;
@@ -75,6 +76,13 @@ pub struct ServeConfig {
     /// overlap; raise it only to hide the former's batch-window latency
     /// between executions.
     pub ready_depth: usize,
+    /// Execute multi-request batches through the lane-vectorized batched
+    /// replay backend ([`ProgramSession::run_batched_with_scratch`]) instead
+    /// of one coalesced scalar replay. Responses stay bit-identical; each
+    /// request additionally gets its own lane's exact solo report totals
+    /// instead of an even split of the batch totals. Single-request batches
+    /// always take the scalar path.
+    pub batched_replay: bool,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +94,7 @@ impl Default for ServeConfig {
             default_deadline: None,
             workers: 1,
             ready_depth: 1,
+            batched_replay: false,
         }
     }
 }
@@ -93,9 +102,10 @@ impl Default for ServeConfig {
 impl ServeConfig {
     /// Reads the knobs from the environment on top of the defaults:
     /// `FEATHER_SERVE_MAX_BATCH`, `FEATHER_SERVE_QUEUE_DEPTH`,
-    /// `FEATHER_SERVE_WINDOW_US` (batch window in microseconds) and
-    /// `FEATHER_SERVE_WORKERS` (executor pool size). Unset or unparsable
-    /// variables keep their default.
+    /// `FEATHER_SERVE_WINDOW_US` (batch window in microseconds),
+    /// `FEATHER_SERVE_WORKERS` (executor pool size) and
+    /// `FEATHER_SERVE_BATCHED_REPLAY` (nonzero enables the batched replay
+    /// backend). Unset or unparsable variables keep their default.
     pub fn from_env() -> Self {
         fn read(name: &str) -> Option<usize> {
             std::env::var(name).ok()?.trim().parse().ok()
@@ -112,6 +122,9 @@ impl ServeConfig {
         }
         if let Some(n) = read("FEATHER_SERVE_WORKERS") {
             cfg.workers = n.max(1);
+        }
+        if let Some(n) = read("FEATHER_SERVE_BATCHED_REPLAY") {
+            cfg.batched_replay = n != 0;
         }
         cfg
     }
@@ -131,8 +144,9 @@ pub struct Response {
     pub queue_us: u64,
     /// End-to-end latency (submit → response), in microseconds.
     pub latency_us: u64,
-    /// Modeled accelerator cycles attributed to this request (the batch
-    /// total divided evenly).
+    /// Modeled accelerator cycles attributed to this request: with the
+    /// scalar backend the batch total divided evenly, with the batched
+    /// replay backend this request's own exact solo-run total.
     pub cycles: u64,
     /// Modeled DRAM bytes attributed to this request.
     pub dram_bytes: u64,
@@ -832,10 +846,12 @@ fn push_ready(inner: &Inner, batch: ReadyBatch) {
 
 /// One executor worker: pop ready batches and replay them until the former
 /// closes the queue and it runs dry. The worker keeps a [`ReplayScratch`]
-/// per (model, batch) it serves, so its steady state allocates no buffer
+/// (and, with the batched backend on, a [`BatchedScratch`]) per
+/// (model, batch) it serves, so its steady state allocates no buffer
 /// memory.
 fn run_worker(inner: &Inner, worker: usize) {
     let mut scratches: BTreeMap<(String, usize), ReplayScratch> = BTreeMap::new();
+    let mut batched_scratches: BTreeMap<(String, usize), BatchedScratch> = BTreeMap::new();
     loop {
         let batch = {
             let mut ready = inner.ready.lock().expect("ready lock poisoned");
@@ -860,7 +876,7 @@ fn run_worker(inner: &Inner, worker: usize) {
                 inner.idle_workers.fetch_sub(1, Ordering::SeqCst);
             }
         };
-        execute_batch(inner, worker, batch, &mut scratches);
+        execute_batch(inner, worker, batch, &mut scratches, &mut batched_scratches);
     }
 }
 
@@ -873,6 +889,7 @@ fn execute_batch(
     worker: usize,
     batch: ReadyBatch,
     scratches: &mut BTreeMap<(String, usize), ReplayScratch>,
+    batched_scratches: &mut BTreeMap<(String, usize), BatchedScratch>,
 ) {
     let launched = Instant::now();
     let mut live = Vec::with_capacity(batch.requests.len());
@@ -929,43 +946,79 @@ fn execute_batch(
         }
     };
 
-    let program = match model.program_for(size) {
+    let use_batched = inner.cfg.batched_replay && size > 1;
+    let program = match model.program_for(if use_batched { 1 } else { size }) {
         Ok(program) => program,
         Err(err) => return failure(live, err),
     };
 
-    // Coalesce: sample `i` of the batched input is request `i`'s sample 0.
-    let [_, c, h, w] = model.input_shape;
-    let iacts = Tensor4::from_fn([size, c, h, w], |n, cc, hh, ww| {
-        live[n].iacts.get(0, cc, hh, ww)
-    });
-
-    let key = (batch.model.clone(), size);
-    if !scratches.contains_key(&key) && scratches.len() >= SCRATCH_CAPACITY {
-        scratches.clear();
-    }
-    let scratch = scratches.entry(key).or_default();
-
     let executing = inner.executing.fetch_add(1, Ordering::SeqCst) + 1;
     inner.max_executing.fetch_max(executing, Ordering::SeqCst);
-    let run = program.run_with_scratch(scratch, &iacts, &model.weights);
+    let key = (batch.model.clone(), size);
+    // Per-request `(oacts, cycles, dram_bytes)` from either backend.
+    let per_request = if use_batched {
+        // Lane-vectorize: request `i` rides lane `i` of one batch-1 replay
+        // and gets back its own exact solo outputs and report totals.
+        let inputs: Vec<Tensor4<i8>> = live.iter().map(|r| r.iacts.clone()).collect();
+        if !batched_scratches.contains_key(&key) && batched_scratches.len() >= SCRATCH_CAPACITY {
+            batched_scratches.clear();
+        }
+        let scratch = batched_scratches.entry(key).or_default();
+        program
+            .run_batched_with_scratch(scratch, &inputs, &model.weights)
+            .map(|runs| {
+                runs.into_iter()
+                    .map(|run| {
+                        let cycles = run.report.total_cycles();
+                        let dram_bytes = run.report.dram_bytes();
+                        (run.oacts, cycles, dram_bytes)
+                    })
+                    .collect::<Vec<_>>()
+            })
+    } else {
+        // Coalesce: sample `i` of the batched input is request `i`'s
+        // sample 0.
+        let [_, c, h, w] = model.input_shape;
+        let iacts = Tensor4::from_fn([size, c, h, w], |n, cc, hh, ww| {
+            live[n].iacts.get(0, cc, hh, ww)
+        });
+        if !scratches.contains_key(&key) && scratches.len() >= SCRATCH_CAPACITY {
+            scratches.clear();
+        }
+        let scratch = scratches.entry(key).or_default();
+        program
+            .run_with_scratch(scratch, &iacts, &model.weights)
+            .map(|run| {
+                // Split: each request gets its own sample, bit-identical to
+                // a solo run, and an even share of the batch totals.
+                let cycles = run.report.total_cycles();
+                let dram_bytes = run.report.dram_bytes();
+                let [_, m, p, q] = run.oacts.shape();
+                (0..size)
+                    .map(|i| {
+                        let oacts = Tensor4::from_fn([1, m, p, q], |_, mm, pp, qq| {
+                            run.oacts.get(i, mm, pp, qq)
+                        });
+                        (oacts, cycles / size as u64, dram_bytes / size as u64)
+                    })
+                    .collect::<Vec<_>>()
+            })
+    };
     inner.executing.fetch_sub(1, Ordering::SeqCst);
-    let run = match run {
-        Ok(run) => run,
+    let per_request = match per_request {
+        Ok(per_request) => per_request,
         Err(err) => return failure(live, ServeError::Exec(err)),
     };
 
-    // Split: each request gets its own sample, bit-identical to a solo run.
-    let cycles = run.report.total_cycles();
-    let dram_bytes = run.report.dram_bytes();
-    let [_, m, p, q] = run.oacts.shape();
     let mut stats = inner.worker_stats[worker]
         .lock()
         .expect("worker stats lock poisoned");
     *stats.batches.entry(size).or_insert(0) += 1;
     *stats.worker_batches.entry(worker).or_insert(0) += 1;
-    for (i, request) in live.into_iter().enumerate() {
-        let oacts = Tensor4::from_fn([1, m, p, q], |_, mm, pp, qq| run.oacts.get(i, mm, pp, qq));
+    if use_batched {
+        stats.batched_replays += 1;
+    }
+    for (request, (oacts, cycles, dram_bytes)) in live.into_iter().zip(per_request) {
         let latency_us = request.enqueued.elapsed().as_micros() as u64;
         let response = Response {
             oacts,
@@ -973,8 +1026,8 @@ fn execute_batch(
             worker,
             queue_us: launched.duration_since(request.enqueued).as_micros() as u64,
             latency_us,
-            cycles: cycles / size as u64,
-            dram_bytes: dram_bytes / size as u64,
+            cycles,
+            dram_bytes,
         };
         let tenant = stats.tenants.entry(request.tenant.clone()).or_default();
         tenant.completed += 1;
@@ -1054,6 +1107,45 @@ mod tests {
         assert_eq!(stats.tenants["bob"].completed, 2);
         assert!(stats.tenants["alice"].cycles > 0);
         assert!(stats.tenants["alice"].dram_bytes > 0);
+    }
+
+    #[test]
+    fn batched_replay_backend_counts_and_matches_solo_runs() {
+        let g = tiny_graph("m");
+        let weights = g.random_weights(9);
+        let solo = GraphSession::auto(config(), &g).unwrap();
+        let inputs: Vec<Tensor4<i8>> = (0..4)
+            .map(|i| Tensor4::random([1, 2, 4, 4], 90 + i))
+            .collect();
+        let goldens: Vec<_> = inputs
+            .iter()
+            .map(|iacts| solo.run(iacts, &weights).unwrap())
+            .collect();
+
+        let server = Server::new(ServeConfig {
+            max_batch: 4,
+            batch_window: Duration::from_secs(2),
+            batched_replay: true,
+            ..ServeConfig::default()
+        });
+        server.register_model("m", config(), &g, weights).unwrap();
+        let tickets: Vec<Ticket> = inputs
+            .iter()
+            .map(|iacts| server.submit("t", "m", iacts.clone()).unwrap())
+            .collect();
+        for (ticket, golden) in tickets.into_iter().zip(&goldens) {
+            let response = ticket.wait().unwrap();
+            assert_eq!(response.oacts, golden.oacts);
+            assert_eq!(response.batch_size, 4);
+            // Each request carries its own exact solo totals, not an even
+            // split of a batch-4 report.
+            assert_eq!(response.cycles, golden.report.total_cycles());
+            assert_eq!(response.dram_bytes, golden.report.dram_bytes());
+        }
+        let stats = server.stats();
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.batches.get(&4), Some(&1));
+        assert_eq!(stats.batched_replays, 1);
     }
 
     #[test]
@@ -1464,6 +1556,7 @@ mod tests {
         assert_eq!(cfg.default_deadline, None);
         assert_eq!(cfg.workers, 1);
         assert_eq!(cfg.ready_depth, 1);
+        assert!(!cfg.batched_replay);
         // Zero-valued knobs clamp to functioning minimums.
         let server = Server::new(ServeConfig {
             max_batch: 0,

@@ -115,6 +115,10 @@ pub struct ServerStats {
     /// High-water mark of batches executing simultaneously across the pool.
     /// `>= 2` proves real overlap; always `<=` the configured worker count.
     pub max_concurrent_batches: u64,
+    /// Batches executed through the lane-vectorized batched replay backend
+    /// (`ServeConfig::batched_replay` with ≥ 2 coalesced requests) instead
+    /// of the coalesced scalar replay.
+    pub batched_replays: u64,
 }
 
 impl ServerStats {
@@ -143,6 +147,7 @@ impl ServerStats {
         self.max_concurrent_batches = self
             .max_concurrent_batches
             .max(other.max_concurrent_batches);
+        self.batched_replays += other.batched_replays;
     }
 
     /// Mean coalesced batch size over all executed batches.
@@ -194,6 +199,7 @@ mod tests {
             completed: 3,
             rejected: 1,
             max_concurrent_batches: 2,
+            batched_replays: 1,
             ..ServerStats::default()
         };
         a.batches.insert(2, 1);
@@ -213,6 +219,7 @@ mod tests {
             cancelled: 4,
             timed_out: 1,
             max_concurrent_batches: 1,
+            batched_replays: 2,
             ..ServerStats::default()
         };
         b.batches.insert(2, 2);
@@ -236,6 +243,7 @@ mod tests {
         assert_eq!(a.timed_out, 1);
         assert_eq!(a.cancelled, 4);
         assert_eq!(a.max_concurrent_batches, 2);
+        assert_eq!(a.batched_replays, 3);
         assert_eq!(a.batches[&2], 3);
         assert_eq!(a.batches[&4], 1);
         assert_eq!(a.executed_batches(), 4);

@@ -129,6 +129,55 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Batched lane-vectorized replay == N solo scalar replays — outputs AND
+    /// the full `GraphRun` report (cycles, DRAM traffic, scratch accounting,
+    /// join saturation) — for batches of 1, 2, 4 and 8 samples, serial and
+    /// sharded, on random residual DAGs.
+    #[test]
+    fn batched_replay_equals_solo_replays(
+        c0 in 1usize..4,
+        hw in 4usize..6,
+        depth in 1usize..3,
+        kernel in 0usize..2,
+        identity in 0usize..2,
+        seed in 0u64..100,
+    ) {
+        let blocks = [(depth, if kernel == 0 { 1 } else { 3 }, identity == 0)];
+        let g = build_dag(1, c0, hw, &blocks, 1);
+        let session = GraphSession::auto(FeatherConfig::new(4, 4), &g).unwrap();
+        let weights = g.random_weights(seed + 2000);
+        let replay = ProgramSession::new(session.compile().unwrap());
+
+        let samples: Vec<Tensor4<i8>> = (0..8)
+            .map(|i| Tensor4::random([1, c0, hw, hw], seed + i))
+            .collect();
+        let solos: Vec<_> = samples
+            .iter()
+            .map(|s| replay.run(s, &weights).unwrap())
+            .collect();
+
+        for lanes in [1usize, 2, 4, 8] {
+            let batched = replay.run_batched(&samples[..lanes], &weights).unwrap();
+            prop_assert_eq!(batched.len(), lanes);
+            for (lane, (b, solo)) in batched.iter().zip(&solos).enumerate() {
+                prop_assert_eq!(&b.oacts, &solo.oacts, "lane {} outputs", lane);
+                prop_assert_eq!(&b.report, &solo.report, "lane {} report", lane);
+            }
+            let sharded = ProgramSession::from_arc(replay.program().clone())
+                .with_threads(3)
+                .run_batched(&samples[..lanes], &weights)
+                .unwrap();
+            for (lane, (b, solo)) in sharded.iter().zip(&solos).enumerate() {
+                prop_assert_eq!(&b.oacts, &solo.oacts, "lane {} sharded outputs", lane);
+                prop_assert_eq!(&b.report, &solo.report, "lane {} sharded report", lane);
+            }
+        }
+    }
+}
+
 /// The full ResNet-50 topology — 53 convs, 16 residual joins, pools and FC —
 /// lowers to one program whose replay reproduces the interpreted run exactly,
 /// report included.
