@@ -34,9 +34,14 @@
 //! ResNet-50 program replayed over 8 distinct samples in one pass,
 //! equality-asserted lane-by-lane against scalar replays before timing.
 //!
+//! Since PR 10 a **degraded-mode** pair runs the closed loop clean and then
+//! under a fixed seeded `FaultPlan` (replay failures, worker panics, pickup
+//! faults), recording throughput alongside the retry/panic/respawn counters
+//! — the cost of fault tolerance when faults actually fire.
+//!
 //! `--pr N` stamps the snapshot and derives the default output path
-//! `BENCH_N.json` (default: 9, the PR that introduced the batched replay
-//! backend — pass the current PR number when committing a new snapshot).
+//! `BENCH_N.json` (default: 10, the PR that added fault-tolerant serving —
+//! pass the current PR number when committing a new snapshot).
 //! Environment: `FEATHER_BENCH_ITERS` overrides the measured iteration count
 //! (default 5; the median is reported) and scales the traffic generators'
 //! request counts; `FEATHER_SERVE_WORKERS` sizes the closed-loop sweep's
@@ -52,7 +57,7 @@ use feather::{default_threads, FeatherConfig, GraphSession, LayerMapping, Networ
 use feather_arch::graph::resnet50_graph_scaled;
 use feather_arch::tensor::Tensor4;
 use feather_arch::workload::ConvLayer;
-use feather_serve::{ServeConfig, Server};
+use feather_serve::{FaultPlan, ServeConfig, Server};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -451,6 +456,130 @@ fn serving_sweep(iters: usize) -> Vec<ServingPoint> {
         .collect()
 }
 
+/// One row of the degraded-mode scenario: the closed loop run either clean
+/// or under a fixed fault plan.
+struct DegradedPoint {
+    fault_plan: &'static str,
+    requests: u64,
+    completed: u64,
+    failed: u64,
+    shed: u64,
+    retries: u64,
+    worker_panics: u64,
+    respawns: u64,
+    breaker_opens: u64,
+    throughput_rps: f64,
+    p99_ms: f64,
+}
+
+/// Degraded-mode pair: the same closed-loop traffic run with no fault plan
+/// and with a fixed seeded one (deterministic injection points, so the row
+/// is comparable across PRs). The clean row is the control; the faulty row
+/// shows what retries, worker respawns and breaker trips cost when ~25% of
+/// batch executions misbehave (faults are drawn once per batch pickup and
+/// once per batch replay, not per request). Conservation is asserted on
+/// both rows.
+fn degraded_sweep(iters: usize) -> Vec<DegradedPoint> {
+    const CLIENTS: usize = 8;
+    const DISTINCT_IMAGES: usize = 4;
+    const FAULTY: &str = "seed=42;replay.fail=0.15;replay.panic=0.05;pickup.fail=0.05";
+    let requests_per_client = 8 * iters.min(4);
+
+    let graph = resnet50_graph_scaled(16, 16);
+    let config = FeatherConfig::new(8, 16);
+    let weights = graph.random_weights(8);
+    let [_, c, h, w] = graph.tensor_shape(graph.input());
+    let images: Vec<Tensor4<i8>> = (0..DISTINCT_IMAGES)
+        .map(|i| Tensor4::random([1, c, h, w], 290 + i as u64))
+        .collect();
+
+    ["", FAULTY]
+        .iter()
+        .map(|&plan_str| {
+            let cfg = ServeConfig {
+                max_batch: 4,
+                queue_depth: 256,
+                batch_window: Duration::from_micros(800),
+                default_deadline: None,
+                max_retries: 2,
+                retry_backoff: Duration::from_micros(200),
+                ..ServeConfig::from_env()
+            };
+            let server = Arc::new(Server::with_fault_plan(cfg, FaultPlan::parse(plan_str)));
+            server
+                .register_model("resnet50", config, &graph, weights.clone())
+                .expect("serving model registers");
+
+            let start = Instant::now();
+            let mut latencies_ms: Vec<f64> = Vec::new();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..CLIENTS)
+                    .map(|client| {
+                        let server = server.clone();
+                        let images = &images;
+                        scope.spawn(move || {
+                            let mut lat = Vec::with_capacity(requests_per_client);
+                            for i in 0..requests_per_client {
+                                let ticket = server.submit(
+                                    &format!("client-{client}"),
+                                    "resnet50",
+                                    images[(client + i) % images.len()].clone(),
+                                );
+                                match ticket {
+                                    Ok(t) => match t.wait() {
+                                        Ok(response) => lat.push(response.latency_us as f64 / 1e3),
+                                        // Retry budget exhausted under the
+                                        // injected fault rates.
+                                        Err(feather_serve::ServeError::Failed(_)) => {}
+                                        Err(e) => panic!("unexpected outcome: {e}"),
+                                    },
+                                    // The breaker may trip while faults burst.
+                                    Err(feather_serve::ServeError::Unavailable { .. }) => {}
+                                    Err(e) => panic!("unexpected submit error: {e}"),
+                                }
+                            }
+                            lat
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    latencies_ms.extend(handle.join().expect("client thread"));
+                }
+            });
+            let wall = start.elapsed().as_secs_f64();
+
+            let stats = server.stats();
+            assert_eq!(
+                stats.submitted,
+                stats.accounted(),
+                "degraded-mode conservation violated: {stats:?}"
+            );
+            if plan_str.is_empty() {
+                assert_eq!(stats.failed + stats.shed + stats.worker_panics, 0);
+                assert_eq!(stats.completed, (CLIENTS * requests_per_client) as u64);
+            }
+            latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+            DegradedPoint {
+                fault_plan: if plan_str.is_empty() {
+                    "none"
+                } else {
+                    plan_str
+                },
+                requests: (CLIENTS * requests_per_client) as u64,
+                completed: stats.completed,
+                failed: stats.failed,
+                shed: stats.shed,
+                retries: stats.retries,
+                worker_panics: stats.worker_panics,
+                respawns: stats.respawns,
+                breaker_opens: stats.breaker_opens,
+                throughput_rps: latencies_ms.len() as f64 / wall,
+                p99_ms: percentile(&latencies_ms, 0.99),
+            }
+        })
+        .collect()
+}
+
 /// One point of the offered-rate-vs-achieved-throughput surface.
 struct OpenLoopPoint {
     workers: usize,
@@ -561,7 +690,7 @@ fn open_loop_sweep(iters: usize) -> Vec<OpenLoopPoint> {
 }
 
 fn main() {
-    let mut pr: u32 = 9;
+    let mut pr: u32 = 10;
     let mut out_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -598,6 +727,7 @@ fn main() {
     snapshots.push(parallel);
     let serving = serving_sweep(iters);
     let open_loop = open_loop_sweep(iters);
+    let degraded = degraded_sweep(iters);
 
     // Hand-rolled JSON: the vendored serde shim's derives are no-ops (see
     // ROADMAP "Registry re-vendoring"), and the format is four flat fields.
@@ -663,6 +793,28 @@ fn main() {
             p.mean_batch,
             p.max_concurrent,
             if i + 1 < open_loop.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"serving_degraded\": [\n");
+    for (i, p) in degraded.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"fault_plan\": \"{}\", \"requests\": {}, \"completed\": {}, \
+             \"failed\": {}, \"shed\": {}, \"retries\": {}, \"worker_panics\": {}, \
+             \"respawns\": {}, \"breaker_opens\": {}, \"throughput_rps\": {:.1}, \
+             \"p99_ms\": {:.3}}}{}\n",
+            p.fault_plan,
+            p.requests,
+            p.completed,
+            p.failed,
+            p.shed,
+            p.retries,
+            p.worker_panics,
+            p.respawns,
+            p.breaker_opens,
+            p.throughput_rps,
+            p.p99_ms,
+            if i + 1 < degraded.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");
@@ -734,6 +886,34 @@ fn main() {
             p.completed,
             p.rejected,
             p.mean_batch,
+        );
+    }
+    println!(
+        "\n{:<45} {:>9} {:>10} {:>7} {:>5} {:>8} {:>7} {:>9} {:>11} {:>9}",
+        "fault_plan",
+        "requests",
+        "completed",
+        "failed",
+        "shed",
+        "retries",
+        "panics",
+        "respawns",
+        "rps",
+        "p99 ms"
+    );
+    for p in &degraded {
+        println!(
+            "{:<45} {:>9} {:>10} {:>7} {:>5} {:>8} {:>7} {:>9} {:>11.1} {:>9.3}",
+            p.fault_plan,
+            p.requests,
+            p.completed,
+            p.failed,
+            p.shed,
+            p.retries,
+            p.worker_panics,
+            p.respawns,
+            p.throughput_rps,
+            p.p99_ms,
         );
     }
     println!("wrote {out_path}");

@@ -140,7 +140,7 @@ impl RouteCache {
             entries: self
                 .shared
                 .read()
-                .expect("route cache poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .routes
                 .len(),
         }
@@ -162,7 +162,7 @@ impl RouteCache {
         let shared_hit = self
             .shared
             .read()
-            .expect("route cache poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .routes
             .get(request)
             .cloned();
@@ -196,7 +196,7 @@ impl RouteCache {
         request: &ReductionRequest,
         compiled: Arc<CompiledRoute>,
     ) -> Arc<CompiledRoute> {
-        let mut shared = self.shared.write().expect("route cache poisoned");
+        let mut shared = self.shared.write().unwrap_or_else(|e| e.into_inner());
         if let Some(existing) = shared.routes.get(request) {
             return existing.clone();
         }

@@ -342,7 +342,9 @@ impl GraphSession {
     ///
     /// # Errors
     /// Same conditions as [`GraphSession::compile`]; artifact I/O failures
-    /// degrade to a recompile, never to an error.
+    /// degrade to a recompile, never to an error. A corrupt or stale
+    /// artifact (checksum failure, truncation, old format, fingerprint
+    /// mismatch) is quarantined aside as `<name>.bad` and recompiled.
     pub fn compile_cached(&self) -> Result<(crate::Program, crate::ArtifactStatus), ArchError> {
         crate::program::compile_cached(self)
     }

@@ -62,8 +62,9 @@ use crate::report::{
 use crate::session::{for_each_oact, iact_spec, layer_summary, oact_spec};
 
 /// Format header of a serialized program artifact; bump on layout changes
-/// (unknown versions degrade to a recompile, never to an error).
-const HEADER: &str = "feather-program v1";
+/// (unknown versions degrade to a recompile, never to an error). v2 added
+/// the trailing whole-file `checksum` line.
+const HEADER: &str = "feather-program v2";
 
 /// Where a compiled program came from in [`GraphSession::compile_cached`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +75,22 @@ pub enum ArtifactStatus {
     Miss,
     /// `FEATHER_CACHE_DIR` is unset — compiled fresh, nothing persisted.
     Disabled,
+    /// An artifact existed at the right path but was unusable — bad
+    /// checksum, truncation, stale format, or a fingerprint mismatch. It
+    /// was renamed aside to `<name>.bad` (so it is detected exactly once,
+    /// not re-parsed on every cache miss) and a fresh compile replaced it.
+    Quarantined,
+}
+
+/// What [`Program::load_checked`] found on disk.
+#[derive(Debug)]
+pub(crate) enum LoadOutcome {
+    /// Parsed and checksum-verified.
+    Loaded(Box<Program>),
+    /// A file exists but is unusable (corrupt, truncated, or stale format).
+    Corrupt,
+    /// No file (or it is unreadable).
+    Missing,
 }
 
 /// One slot of a program's tensor table: a graph tensor's id, its scratch
@@ -267,11 +284,26 @@ impl Program {
     }
 
     /// Loads a program from `path`. Any failure — missing file, unknown
-    /// header version, malformed content, an unroutable recorded request —
-    /// returns `None` so callers degrade to a recompile.
+    /// header version, checksum mismatch, malformed content, an unroutable
+    /// recorded request — returns `None` so callers degrade to a recompile.
     pub fn load_from(path: &Path) -> Option<Program> {
-        let text = std::fs::read_to_string(path).ok()?;
-        parse_program(&text)
+        match Program::load_checked(path) {
+            LoadOutcome::Loaded(program) => Some(*program),
+            LoadOutcome::Corrupt | LoadOutcome::Missing => None,
+        }
+    }
+
+    /// [`Program::load_from`] distinguishing *no artifact* from *a corrupt
+    /// one*, so the artifact cache can quarantine the latter instead of
+    /// re-parsing it on every miss.
+    pub(crate) fn load_checked(path: &Path) -> LoadOutcome {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return LoadOutcome::Missing;
+        };
+        match parse_program(&text) {
+            Some(program) => LoadOutcome::Loaded(Box::new(program)),
+            None => LoadOutcome::Corrupt,
+        }
     }
 
     /// A diffable text listing of exactly what a replayed run does: the
@@ -525,6 +557,10 @@ impl Program {
             };
             let _ = writeln!(out, "{line}");
         }
+        // Whole-file integrity: the checksum covers every byte above it, so
+        // truncation, bit flips and partial writes are all detected on load.
+        let sum = fnv1a64(out.as_bytes());
+        let _ = writeln!(out, "checksum {sum:016x}");
         out
     }
 }
@@ -556,16 +592,25 @@ impl ReplayScratch {
         ReplayScratch::default()
     }
 
-    /// Re-targets the stash at `program`, dropping buffers from any other.
-    fn retarget(&mut self, program: &Program) {
+    /// Re-targets the stash at `program`, dropping buffers from any other,
+    /// and marks it dirty until [`ReplayScratch::commit`]: if the replay
+    /// panics mid-run (a supervised serving worker catches it), the next
+    /// `begin` sees the mismatch and drops the half-staged stash instead of
+    /// replaying through it.
+    fn begin(&mut self, program: &Program) {
         let key = (program.fingerprint, program.batch);
         if self.shaped_for != Some(key) {
-            self.shaped_for = Some(key);
             self.stabs.clear();
         }
+        self.shaped_for = None;
         if self.stabs.len() != program.segments.len() {
             self.stabs.resize_with(program.segments.len(), || None);
         }
+    }
+
+    /// Marks a completed run's stash clean so the next `begin` reuses it.
+    fn commit(&mut self, program: &Program) {
+        self.shaped_for = Some((program.fingerprint, program.batch));
     }
 }
 
@@ -589,16 +634,22 @@ impl BatchedScratch {
     }
 
     /// Re-targets the stash at `(program, lanes)`, dropping buffers from any
-    /// other shape.
-    fn retarget(&mut self, program: &Program, lanes: usize) {
+    /// other shape; dirty until [`BatchedScratch::commit`] — a panicking
+    /// replay abandons the stash (see [`ReplayScratch::begin`]).
+    fn begin(&mut self, program: &Program, lanes: usize) {
         let key = (program.fingerprint, program.batch, lanes);
         if self.shaped_for != Some(key) {
-            self.shaped_for = Some(key);
             self.stabs.clear();
         }
+        self.shaped_for = None;
         if self.stabs.len() != program.segments.len() {
             self.stabs.resize_with(program.segments.len(), || None);
         }
+    }
+
+    /// Marks a completed run's stash clean so the next `begin` reuses it.
+    fn commit(&mut self, program: &Program, lanes: usize) {
+        self.shaped_for = Some((program.fingerprint, program.batch, lanes));
     }
 }
 
@@ -668,7 +719,7 @@ impl ProgramSession {
         weights: &BTreeMap<NodeId, Tensor4<i8>>,
     ) -> Result<GraphRun, ArchError> {
         let p = &*self.program;
-        scratch_bufs.retarget(p);
+        scratch_bufs.begin(p);
         if iacts.shape() != p.input_shape {
             return Err(ArchError::ShapeMismatch(format!(
                 "graph input shape {:?}, expected {:?}",
@@ -897,6 +948,7 @@ impl ProgramSession {
             }
         }
 
+        scratch_bufs.commit(p);
         Ok(GraphRun {
             oacts: final_acc.ok_or_else(|| broken("no op produced the graph output"))?,
             report: GraphReport {
@@ -962,7 +1014,7 @@ impl ProgramSession {
                 )));
             }
         }
-        scratch_bufs.retarget(p, lanes);
+        scratch_bufs.begin(p, lanes);
         let threads = self.threads.or(p.threads);
 
         // Parked tensors hold `lanes` concatenated per-lane copies; the lane
@@ -1224,6 +1276,7 @@ impl ProgramSession {
         }
 
         let final_acc = final_acc.ok_or_else(|| broken("no op produced the graph output"))?;
+        scratch_bufs.commit(p, lanes);
         let scratch_stats = *scratch.stats();
         let scratch_peak = scratch.peak_occupancy() as u64;
         Ok(final_acc
@@ -1537,17 +1590,43 @@ pub(crate) fn compile_cached(
     let Some(dir) = cache_dir() else {
         return Ok((compile(session)?, ArtifactStatus::Disabled));
     };
+    compile_cached_in(session, &dir)
+}
+
+/// [`compile_cached`] against an explicit cache root (testable without
+/// touching `FEATHER_CACHE_DIR`). A corrupt or stale artifact is renamed
+/// aside to `<name>.bad` before the recompile overwrites its path — it is
+/// detected exactly once, never re-parsed on later misses.
+pub(crate) fn compile_cached_in(
+    session: &GraphSession,
+    dir: &Path,
+) -> Result<(Program, ArtifactStatus), ArchError> {
     let fingerprint = session_fingerprint(session);
-    let path = artifact_path(&dir, &session.graph().name, session.batch(), fingerprint);
-    if let Some(program) = Program::load_from(&path) {
-        if program.fingerprint == fingerprint {
-            return Ok((program, ArtifactStatus::Hit));
+    let path = artifact_path(dir, &session.graph().name, session.batch(), fingerprint);
+    let status = match Program::load_checked(&path) {
+        LoadOutcome::Loaded(program) if program.fingerprint == fingerprint => {
+            return Ok((*program, ArtifactStatus::Hit));
         }
-    }
+        // The path encodes the fingerprint, so parseable-but-mismatched
+        // content is just as wrong as a bad checksum.
+        LoadOutcome::Loaded(_) | LoadOutcome::Corrupt => {
+            quarantine(&path);
+            ArtifactStatus::Quarantined
+        }
+        LoadOutcome::Missing => ArtifactStatus::Miss,
+    };
     let program = compile(session)?;
     // Persistence is best-effort: an unwritable cache degrades to recompiles.
     let _ = program.save_to(&path);
-    Ok((program, ArtifactStatus::Miss))
+    Ok((program, status))
+}
+
+/// Renames an unusable artifact to `<name>.bad` (best-effort) so it is kept
+/// for inspection but never consulted — or re-parsed — again.
+fn quarantine(path: &Path) {
+    let mut bad = path.as_os_str().to_os_string();
+    bad.push(".bad");
+    let _ = std::fs::rename(path, &bad);
 }
 
 /// The artifact cache root: `FEATHER_CACHE_DIR` (shared with layoutloop's
@@ -1655,9 +1734,24 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 
 // -------------------------------------------------------------------- load
 
-/// Parses a serialized program; `None` on any malformed content.
+/// Parses a serialized program; `None` on any malformed content, including
+/// a missing or mismatched trailing checksum line.
 fn parse_program(text: &str) -> Option<Program> {
-    let mut lines = text.lines();
+    // The artifact ends with `checksum <fnv1a64-hex>` covering every byte
+    // before it; verify that first so truncation or bit flips anywhere in
+    // the body fail fast instead of surfacing as a puzzling parse error.
+    let sum_at = text.rfind("checksum ")?;
+    if sum_at != 0 && text.as_bytes()[sum_at - 1] != b'\n' {
+        return None;
+    }
+    let expected =
+        u64::from_str_radix(text[sum_at..].trim_end().strip_prefix("checksum ")?, 16).ok()?;
+    let covered = &text[..sum_at];
+    if fnv1a64(covered.as_bytes()) != expected {
+        return None;
+    }
+
+    let mut lines = covered.lines();
     if lines.next()? != HEADER {
         return None;
     }
@@ -2306,6 +2400,78 @@ mod tests {
         assert!(Program::load_from(&path).is_none());
         let _ = std::fs::remove_file(&path);
         assert!(Program::load_from(Path::new("/nonexistent/p.program")).is_none());
+    }
+
+    #[test]
+    fn checksum_rejects_truncation_and_bit_flips() {
+        let g = residual_graph();
+        let session = GraphSession::auto(FeatherConfig::new(4, 8), &g).unwrap();
+        let program = session.compile().unwrap();
+        let text = program.serialize();
+        assert!(parse_program(&text).is_some(), "pristine artifact loads");
+
+        // Truncation: drop the tail (checksum line gone or body shortened).
+        for keep in [text.len() / 2, text.len() - 20] {
+            assert!(
+                parse_program(&text[..keep]).is_none(),
+                "truncated at {keep} must be rejected"
+            );
+        }
+        // A single flipped bit in the middle of the body.
+        let mut bytes = text.clone().into_bytes();
+        bytes[text.len() / 2] ^= 0x40;
+        let flipped = String::from_utf8(bytes).unwrap();
+        assert!(
+            parse_program(&flipped).is_none(),
+            "bit flip must be rejected"
+        );
+    }
+
+    #[test]
+    fn corrupt_artifacts_are_quarantined_once_then_cache_hits() {
+        let g = residual_graph();
+        let session = GraphSession::auto(FeatherConfig::new(4, 8), &g).unwrap();
+        let dir = std::env::temp_dir().join(format!(
+            "feather-program-test-quarantine-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Populate the cache, then corrupt the artifact in place.
+        let (program, status) = compile_cached_in(&session, &dir).unwrap();
+        assert_eq!(status, ArtifactStatus::Miss);
+        let path = artifact_path(&dir, &g.name, session.batch(), session.fingerprint());
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // The corruption is detected, the file moved aside, and the
+        // recompile produces the same program.
+        let (recompiled, status) = compile_cached_in(&session, &dir).unwrap();
+        assert_eq!(status, ArtifactStatus::Quarantined);
+        assert_eq!(recompiled.dump(), program.dump());
+        let bad = {
+            let mut os = path.as_os_str().to_os_string();
+            os.push(".bad");
+            PathBuf::from(os)
+        };
+        assert_eq!(std::fs::read(&bad).unwrap(), bytes, "evidence preserved");
+
+        // Quarantined once: the path now holds a good artifact again, so
+        // the next miss is a plain Hit, not another parse of bad bytes.
+        let (_, status) = compile_cached_in(&session, &dir).unwrap();
+        assert_eq!(status, ArtifactStatus::Hit);
+
+        // Truncation is caught the same way.
+        let good = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &good[..good.len() / 3]).unwrap();
+        let (_, status) = compile_cached_in(&session, &dir).unwrap();
+        assert_eq!(status, ArtifactStatus::Quarantined);
+        let (_, status) = compile_cached_in(&session, &dir).unwrap();
+        assert_eq!(status, ArtifactStatus::Hit);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

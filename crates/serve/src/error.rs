@@ -28,6 +28,19 @@ pub enum ServeError {
     BadInput(String),
     /// The executor failed while running the batch this request was part of.
     Exec(ArchError),
+    /// The request failed after exhausting its retry budget (worker panic or
+    /// repeated transient executor failure).
+    Failed(String),
+    /// The model's circuit breaker is open: recent executions kept failing,
+    /// so requests fast-fail until a half-open probe succeeds.
+    Unavailable {
+        /// The model whose breaker rejected the request.
+        model: String,
+    },
+    /// The server is in overload brownout and the request's deadline is
+    /// already infeasible given the current backlog, so it was shed at
+    /// admission instead of timing out in the queue.
+    Overloaded,
 }
 
 impl fmt::Display for ServeError {
@@ -42,6 +55,13 @@ impl fmt::Display for ServeError {
             ServeError::UnknownModel(name) => write!(f, "no model registered as `{name}`"),
             ServeError::BadInput(msg) => write!(f, "bad input: {msg}"),
             ServeError::Exec(e) => write!(f, "execution failed: {e}"),
+            ServeError::Failed(msg) => write!(f, "request failed after retries: {msg}"),
+            ServeError::Unavailable { model } => {
+                write!(f, "model `{model}` is unavailable (circuit breaker open)")
+            }
+            ServeError::Overloaded => {
+                write!(f, "request shed: server overloaded and deadline infeasible")
+            }
         }
     }
 }
@@ -75,6 +95,11 @@ mod tests {
             ServeError::UnknownModel("resnet".into()),
             ServeError::BadInput("shape".into()),
             ServeError::Exec(ArchError::InvalidWorkload("zero".into())),
+            ServeError::Failed("worker panicked".into()),
+            ServeError::Unavailable {
+                model: "resnet".into(),
+            },
+            ServeError::Overloaded,
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());
@@ -83,5 +108,13 @@ mod tests {
         assert!(ServeError::UnknownModel("resnet".into())
             .to_string()
             .contains("resnet"));
+        assert!(ServeError::Unavailable {
+            model: "resnet".into()
+        }
+        .to_string()
+        .contains("resnet"));
+        assert!(ServeError::Failed("panicked".into())
+            .to_string()
+            .contains("panicked"));
     }
 }

@@ -40,6 +40,17 @@
 //!   divided across its requests. Counters are sharded per worker and
 //!   merged on [`Server::stats`]; `max_concurrent_batches` is the
 //!   observable proof of executor overlap.
+//! - **Fault tolerance** — workers replay under `catch_unwind` and are
+//!   respawned if a batch panics; failed batch members are retried with
+//!   exponential backoff up to [`ServeConfig::max_retries`] (retry results
+//!   stay bit-identical to first-attempt runs); a per-model
+//!   [`CircuitBreaker`] fast-fails requests as [`ServeError::Unavailable`]
+//!   while a model keeps failing; and overload brownout shrinks the
+//!   effective batch bound and sheds infeasible-deadline requests as
+//!   [`ServeError::Overloaded`]. A deterministic, seeded [`FaultPlan`]
+//!   (env `FEATHER_FAULT_PLAN`) injects failures and panics at fixed
+//!   sites so every one of these paths is testable on demand; with no
+//!   plan the injection sites compile down to a null check.
 //!
 //! There is no async runtime in this workspace (the vendored shims are
 //! trait-surface only), so the concurrency is hand-rolled std: a former
@@ -75,12 +86,17 @@
 
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod error;
+pub mod fault;
 pub mod server;
 pub mod stats;
+mod sync;
 pub mod ticket;
 
+pub use breaker::CircuitBreaker;
 pub use error::ServeError;
+pub use fault::{FaultAction, FaultPlan, FaultSite};
 pub use server::{Response, ServeConfig, Server};
 pub use stats::{ProgramCacheStats, ServerStats, TenantStats};
 pub use ticket::{block_on, Ticket};

@@ -22,8 +22,13 @@ pub struct TenantStats {
     /// Requests cancelled (ticket dropped or `Ticket::cancel`) before an
     /// executor picked them up.
     pub cancelled: u64,
-    /// Requests that reached the executor but failed.
+    /// Requests that reached the executor but failed (after exhausting any
+    /// retry budget).
     pub failed: u64,
+    /// Requests shed at admission during overload brownout (deadline already
+    /// infeasible given the backlog) or fast-failed by an open circuit
+    /// breaker.
+    pub shed: u64,
     /// Total end-to-end latency (submit → response) across completed
     /// requests, in microseconds.
     pub latency_us: u64,
@@ -53,6 +58,7 @@ impl TenantStats {
         self.timed_out += other.timed_out;
         self.cancelled += other.cancelled;
         self.failed += other.failed;
+        self.shed += other.shed;
         self.latency_us += other.latency_us;
         self.max_latency_us = self.max_latency_us.max(other.max_latency_us);
         self.cycles += other.cycles;
@@ -84,6 +90,10 @@ pub struct ProgramCacheStats {
     /// Compiles that ran because no matching artifact existed (or the
     /// artifact cache is disabled).
     pub artifact_misses: u64,
+    /// Corrupt artifacts (bad checksum, truncation, or fingerprint
+    /// mismatch) detected on load and renamed aside to `*.bad` before a
+    /// fresh compile replaced them.
+    pub artifact_quarantined: u64,
     /// Programs currently resident in the in-memory cache.
     pub resident: usize,
 }
@@ -104,6 +114,11 @@ pub struct ServerStats {
     /// Batches executed per pool worker, keyed by worker index — shows how
     /// evenly the ready queue spread work across the pool.
     pub worker_batches: BTreeMap<usize, u64>,
+    /// Requests accepted past validation and breaker checks. Every
+    /// submitted request resolves exactly one way, so at quiescence
+    /// `submitted == completed + rejected + timed_out + cancelled + failed
+    /// + shed` — the conservation invariant the chaos suite asserts.
+    pub submitted: u64,
     /// Requests completed successfully, across all tenants.
     pub completed: u64,
     /// Requests bounced by admission control, across all tenants.
@@ -112,6 +127,20 @@ pub struct ServerStats {
     pub timed_out: u64,
     /// Requests cancelled before execution, across all tenants.
     pub cancelled: u64,
+    /// Requests that failed after exhausting their retry budget.
+    pub failed: u64,
+    /// Requests shed by brownout admission or an open circuit breaker.
+    pub shed: u64,
+    /// Batch re-executions triggered by the retry path (each counts the
+    /// requests re-enqueued, not the batches).
+    pub retries: u64,
+    /// Replay panics caught by worker supervision (injected or real).
+    pub worker_panics: u64,
+    /// Replacement workers spawned after a panic took one down.
+    pub respawns: u64,
+    /// Times a per-model circuit breaker transitioned closed/half-open →
+    /// open.
+    pub breaker_opens: u64,
     /// High-water mark of batches executing simultaneously across the pool.
     /// `>= 2` proves real overlap; always `<=` the configured worker count.
     pub max_concurrent_batches: u64,
@@ -140,14 +169,28 @@ impl ServerStats {
         for (worker, count) in &other.worker_batches {
             *self.worker_batches.entry(*worker).or_insert(0) += count;
         }
+        self.submitted += other.submitted;
         self.completed += other.completed;
         self.rejected += other.rejected;
         self.timed_out += other.timed_out;
         self.cancelled += other.cancelled;
+        self.failed += other.failed;
+        self.shed += other.shed;
+        self.retries += other.retries;
+        self.worker_panics += other.worker_panics;
+        self.respawns += other.respawns;
+        self.breaker_opens += other.breaker_opens;
         self.max_concurrent_batches = self
             .max_concurrent_batches
             .max(other.max_concurrent_batches);
         self.batched_replays += other.batched_replays;
+    }
+
+    /// Sum of all terminal outcomes — the right-hand side of the
+    /// conservation invariant. At quiescence (no requests in flight) this
+    /// equals [`ServerStats::submitted`].
+    pub fn accounted(&self) -> u64 {
+        self.completed + self.rejected + self.timed_out + self.cancelled + self.failed + self.shed
     }
 
     /// Mean coalesced batch size over all executed batches.
@@ -196,8 +239,12 @@ mod tests {
     #[test]
     fn merge_sums_counters_and_maxes_watermarks() {
         let mut a = ServerStats {
+            submitted: 4,
             completed: 3,
             rejected: 1,
+            retries: 2,
+            worker_panics: 1,
+            respawns: 1,
             max_concurrent_batches: 2,
             batched_replays: 1,
             ..ServerStats::default()
@@ -215,9 +262,13 @@ mod tests {
         );
 
         let mut b = ServerStats {
+            submitted: 9,
             completed: 2,
             cancelled: 4,
             timed_out: 1,
+            failed: 1,
+            shed: 1,
+            breaker_opens: 1,
             max_concurrent_batches: 1,
             batched_replays: 2,
             ..ServerStats::default()
@@ -238,10 +289,19 @@ mod tests {
         );
 
         a.merge(&b);
+        assert_eq!(a.submitted, 13);
         assert_eq!(a.completed, 5);
         assert_eq!(a.rejected, 1);
         assert_eq!(a.timed_out, 1);
         assert_eq!(a.cancelled, 4);
+        assert_eq!(a.failed, 1);
+        assert_eq!(a.shed, 1);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.worker_panics, 1);
+        assert_eq!(a.respawns, 1);
+        assert_eq!(a.breaker_opens, 1);
+        assert_eq!(a.accounted(), 5 + 1 + 1 + 4 + 1 + 1);
+        assert_eq!(a.accounted(), a.submitted);
         assert_eq!(a.max_concurrent_batches, 2);
         assert_eq!(a.batched_replays, 3);
         assert_eq!(a.batches[&2], 3);

@@ -1,0 +1,70 @@
+//! Poison-recovering lock accessors.
+//!
+//! A `Mutex`/`RwLock` poisons itself when a thread panics while holding it,
+//! and every later `.lock().unwrap()` then propagates that panic to an
+//! innocent thread — one injected fault would take the whole server down
+//! lock by lock. Every guard in this crate is taken through these helpers
+//! instead: the data under the server's locks is counters, queues of
+//! requests, and caches, all of which are written atomically enough that a
+//! panic mid-critical-section leaves them structurally valid (at worst a
+//! counter increment is lost), so recovering the guard is always safe.
+
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Locks `m`, recovering the guard if a panicking thread poisoned it.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-locks `l`, recovering the guard if a panicking writer poisoned it.
+pub(crate) fn read_recover<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-locks `l`, recovering the guard if a panicking thread poisoned it.
+pub(crate) fn write_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn poisoned_mutex_recovers_with_its_data_intact() {
+        let m = Arc::new(Mutex::new(41));
+        let poisoner = {
+            let m = m.clone();
+            std::thread::spawn(move || {
+                let mut guard = m.lock().unwrap();
+                *guard = 42;
+                panic!("poison the lock mid-update");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        assert!(m.is_poisoned(), "the panic must actually poison the lock");
+        // A bare unwrap would propagate the panic; the recovering accessor
+        // hands back the guard and the last committed data.
+        assert_eq!(*lock_recover(&m), 42);
+        *lock_recover(&m) += 1;
+        assert_eq!(*lock_recover(&m), 43);
+    }
+
+    #[test]
+    fn poisoned_rwlock_recovers_for_readers_and_writers() {
+        let l = Arc::new(RwLock::new(vec![1, 2, 3]));
+        let poisoner = {
+            let l = l.clone();
+            std::thread::spawn(move || {
+                let _guard = l.write().unwrap();
+                panic!("poison the rwlock");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        assert!(l.is_poisoned());
+        assert_eq!(read_recover(&l).len(), 3);
+        write_recover(&l).push(4);
+        assert_eq!(read_recover(&l).len(), 4);
+    }
+}

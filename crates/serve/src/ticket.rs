@@ -14,6 +14,7 @@ use std::thread::Thread;
 
 use crate::error::ServeError;
 use crate::server::Response;
+use crate::sync::lock_recover;
 
 /// The write-once cell a request's outcome lands in, shared between the
 /// scheduler (producer) and the ticket holder (consumer).
@@ -50,7 +51,7 @@ impl Promise {
     /// Writes the outcome (first write wins) and wakes both kinds of waiter.
     pub(crate) fn fulfill(&self, result: Result<Response, ServeError>) {
         let waker = {
-            let mut slot = self.slot.lock().expect("promise lock poisoned");
+            let mut slot = lock_recover(&self.slot);
             if slot.result.is_none() && !slot.consumed {
                 slot.result = Some(result);
             }
@@ -75,7 +76,7 @@ impl Promise {
 
     /// Whether the outcome has already been written (resolved) or taken.
     fn is_settled(&self) -> bool {
-        let slot = self.slot.lock().expect("promise lock poisoned");
+        let slot = lock_recover(&self.slot);
         slot.result.is_some() || slot.consumed
     }
 }
@@ -113,7 +114,7 @@ impl Ticket {
 
     /// Blocks the calling thread until the scheduler resolves the request.
     pub fn wait(self) -> Result<Response, ServeError> {
-        let mut slot = self.promise.slot.lock().expect("promise lock poisoned");
+        let mut slot = lock_recover(&self.promise.slot);
         loop {
             if let Some(result) = slot.result.take() {
                 slot.consumed = true;
@@ -123,7 +124,7 @@ impl Ticket {
                 .promise
                 .ready
                 .wait(slot)
-                .expect("promise lock poisoned");
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 }
@@ -143,7 +144,7 @@ impl Future for Ticket {
     type Output = Result<Response, ServeError>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        let mut slot = self.promise.slot.lock().expect("promise lock poisoned");
+        let mut slot = lock_recover(&self.promise.slot);
         match slot.result.take() {
             Some(result) => {
                 slot.consumed = true;

@@ -18,7 +18,8 @@ use feather::{FeatherConfig, GraphSession};
 use feather_arch::graph::{Graph, NodeId};
 use feather_arch::tensor::Tensor4;
 use feather_arch::workload::{ConvLayer, GemmLayer};
-use feather_serve::{block_on, ServeConfig, ServeError, Server, Ticket};
+use feather_serve::{block_on, FaultPlan, FaultSite, ServeConfig, ServeError, Server, Ticket};
+use proptest::prelude::*;
 
 const CLIENTS: usize = 8;
 const REQUESTS_PER_CLIENT: usize = 12;
@@ -529,4 +530,222 @@ fn weighted_fair_scheduling_bounds_light_tenant_service_delay() {
     assert!(stats.tenants["flood"].completed > 0);
     assert_eq!(stats.timed_out, 0);
     assert_eq!(stats.cancelled, 0);
+}
+
+// ---------------------------------------------------------------- chaos
+//
+// The fault-injection suite (all names start with `chaos_` so CI can run it
+// standalone): a seeded `FaultPlan` makes batches fail, workers panic, and
+// artifact/cache operations misbehave, deterministically per seed. Under any
+// plan the server must neither deadlock nor lose a request: every admitted
+// request resolves exactly once (the conservation invariant), every
+// `Ok` response is bit-identical to the solo golden, and the pool keeps
+// serving after every panic.
+
+/// One chaos round: concurrent mixed-model traffic under a seeded fault
+/// plan. Returns nothing — panics (in a client or via a conservation
+/// violation) are the failure mode.
+fn chaos_round(seed: u64, workers: usize, batched: bool) {
+    let fixtures: Arc<Vec<ModelFixture>> = Arc::new(vec![
+        fixture("residual", residual_model(), 7),
+        fixture("chain", chain_model(), 11),
+        fixture("classifier", classifier_model(), 13),
+    ]);
+    let plan = FaultPlan::seeded(seed)
+        .with_fail(FaultSite::ReplayEntry, 0.08)
+        .with_panic(FaultSite::ReplayEntry, 0.04)
+        .with_fail(FaultSite::ArtifactLoad, 0.05)
+        .with_fail(FaultSite::CacheInsert, 0.05)
+        .with_fail(FaultSite::WorkerPickup, 0.03)
+        .with_panic(FaultSite::WorkerPickup, 0.02);
+    let server = Arc::new(Server::with_fault_plan(
+        ServeConfig {
+            max_batch: 4,
+            queue_depth: 64,
+            batch_window: Duration::from_micros(300),
+            workers,
+            batched_replay: batched,
+            max_retries: 2,
+            retry_backoff: Duration::from_micros(50),
+            breaker_threshold: 4,
+            breaker_cooldown: Duration::from_millis(10),
+            ..ServeConfig::default()
+        },
+        Some(plan),
+    ));
+    for f in fixtures.iter() {
+        server
+            .register_model(
+                f.name,
+                FeatherConfig::new(4, 8),
+                &f.graph,
+                f.weights.clone(),
+            )
+            .unwrap();
+    }
+
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let server = server.clone();
+            let fixtures = fixtures.clone();
+            scope.spawn(move || {
+                for i in 0..REQUESTS_PER_CLIENT {
+                    let f = &fixtures[(client + i) % fixtures.len()];
+                    let input = (client * REQUESTS_PER_CLIENT + i) % f.inputs.len();
+                    match server.submit(
+                        &format!("tenant-{}", client % 3),
+                        f.name,
+                        f.inputs[input].clone(),
+                    ) {
+                        Ok(ticket) => match ticket.wait() {
+                            // Success under injection must still be exact:
+                            // retries and worker respawns may not perturb a
+                            // single bit of the response.
+                            Ok(response) => assert_eq!(
+                                response.oacts, f.goldens[input],
+                                "client {client} request {i} ({}) diverged under faults",
+                                f.name
+                            ),
+                            Err(ServeError::Failed(_)) => {}
+                            Err(e) => panic!("unexpected terminal outcome: {e}"),
+                        },
+                        // An open breaker fast-fails at submit; a backlog
+                        // swollen by retries can bounce at admission.
+                        Err(ServeError::Unavailable { .. }) => {}
+                        Err(ServeError::QueueFull { .. }) => {}
+                        Err(e) => panic!("unexpected submit error: {e}"),
+                    }
+                }
+            });
+        }
+    });
+
+    let mut server = Arc::into_inner(server).expect("all clients joined");
+    server.shutdown();
+    let stats = server.stats();
+    assert_eq!(
+        stats.submitted,
+        stats.accounted(),
+        "conservation violated under seed {seed} ({workers} workers, batched={batched}): \
+         {stats:?}"
+    );
+    assert_eq!(stats.timed_out, 0, "no request carried a deadline");
+    assert_eq!(stats.cancelled, 0, "no request was cancelled");
+    assert_eq!(
+        stats.respawns, stats.worker_panics,
+        "every caught panic must respawn exactly one worker"
+    );
+    assert!(
+        stats.completed > 0,
+        "seed {seed}: the server completed nothing at these fault rates"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random fault-plan seeds across pool sizes and both replay backends.
+    /// Deterministic per case (the vendored proptest derives its stream from
+    /// the test name), so a failing seed reproduces exactly.
+    #[test]
+    fn chaos_random_fault_plans_conserve_requests(
+        seed in 0u64..1_000_000,
+        worker_sel in 0usize..3,
+        batched_sel in 0u8..2,
+    ) {
+        chaos_round(seed, [1usize, 2, 4][worker_sel], batched_sel == 1);
+    }
+}
+
+#[test]
+fn chaos_every_pickup_panicking_still_terminates() {
+    // Pathological plan: every worker pickup panics. Each attempt kills a
+    // worker, the batch retries once, then fails — bounded respawns, no
+    // deadlock, full conservation. This is the worst case the supervisor
+    // must survive.
+    let f = fixture("chain", chain_model(), 41);
+    let plan = FaultPlan::seeded(9).with_panic(FaultSite::WorkerPickup, 1.0);
+    let mut server = Server::with_fault_plan(
+        ServeConfig {
+            max_batch: 2,
+            queue_depth: 16,
+            batch_window: Duration::from_micros(100),
+            workers: 2,
+            max_retries: 1,
+            retry_backoff: Duration::from_micros(50),
+            ..ServeConfig::default()
+        },
+        Some(plan),
+    );
+    server
+        .register_model(
+            f.name,
+            FeatherConfig::new(4, 8),
+            &f.graph,
+            f.weights.clone(),
+        )
+        .unwrap();
+
+    let tickets: Vec<Ticket> = (0..8)
+        .map(|i| {
+            server
+                .submit("t", f.name, f.inputs[i % f.inputs.len()].clone())
+                .unwrap()
+        })
+        .collect();
+    for ticket in tickets {
+        assert!(
+            matches!(ticket.wait(), Err(ServeError::Failed(_))),
+            "with every pickup panicking, requests must fail cleanly"
+        );
+    }
+    server.shutdown();
+    let stats = server.stats();
+    assert_eq!(stats.submitted, 8);
+    assert_eq!(stats.failed, 8);
+    assert_eq!(stats.submitted, stats.accounted());
+    assert!(stats.worker_panics >= 1);
+    assert_eq!(stats.respawns, stats.worker_panics);
+}
+
+#[test]
+fn chaos_empty_plan_is_inert_and_parses_from_env_format() {
+    // The env format parses; inert strings collapse to no plan at all, so
+    // the hot path's injection check stays a single null test.
+    assert!(FaultPlan::parse("").is_none());
+    assert!(FaultPlan::parse("seed=5").is_none());
+    let plan = FaultPlan::parse("seed=5;replay.fail=0.25;pickup.panic_first=1").unwrap();
+    assert!(!plan.is_empty());
+
+    // A server built with no plan behaves exactly like `Server::new`.
+    let f = fixture("chain", chain_model(), 43);
+    let mut server = Server::with_fault_plan(
+        ServeConfig {
+            batch_window: Duration::ZERO,
+            ..ServeConfig::default()
+        },
+        None,
+    );
+    server
+        .register_model(
+            f.name,
+            FeatherConfig::new(4, 8),
+            &f.graph,
+            f.weights.clone(),
+        )
+        .unwrap();
+    let response = server
+        .submit("t", f.name, f.inputs[0].clone())
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(response.oacts, f.goldens[0]);
+    server.shutdown();
+    let stats = server.stats();
+    assert_eq!(stats.submitted, 1);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(
+        stats.retries + stats.failed + stats.worker_panics + stats.shed,
+        0
+    );
 }
